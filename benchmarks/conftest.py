@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index), asserts the claims the
+paper makes about it, times the regeneration with pytest-benchmark,
+and prints a paper-vs-measured comparison (visible with ``-s`` or in
+the captured output on failure).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import pytest
+
+
+def comparison_table(title: str, rows: Iterable[Tuple[str, object, object]]) -> str:
+    """Render 'quantity | paper | measured' rows."""
+    lines = [title, f"{'quantity':<44} {'paper':>14} {'measured':>14}"]
+    for name, paper, measured in rows:
+        lines.append(f"{name:<44} {str(paper):>14} {str(measured):>14}")
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def wan_instance():
+    from repro.domains import wan_example
+
+    return wan_example()
+
+
+@pytest.fixture(scope="session")
+def wan_synthesis(wan_instance):
+    """One shared exact synthesis of the WAN example for assertion-only
+    benches (the timing benches re-run it themselves)."""
+    from repro import synthesize
+
+    graph, library = wan_instance
+    return synthesize(graph, library)

@@ -1,0 +1,80 @@
+"""Experiment A1 — ablation of the Section 3 pruning theory.
+
+The paper's argument for Lemmas 3.1/3.2 + Theorem 3.1 is that naive
+generation "would turn out to be quite expensive ... during both
+steps".  This bench quantifies that on the WAN example and a larger
+random clustered instance: candidate counts, enumeration work, and
+wall time with pruning NONE / LEMMAS / APRIORI, asserting that the
+optimum cost never changes (the exactness claim) while the candidate
+space shrinks.
+"""
+
+import pytest
+
+from repro import PruningLevel, SynthesisOptions, synthesize
+from repro.netgen import clustered_graph, two_tier_library
+
+from .conftest import comparison_table
+
+
+def _run(graph, library, level, max_arity):
+    return synthesize(
+        graph,
+        library,
+        SynthesisOptions(pruning=level, max_arity=max_arity, validate_result=False),
+    )
+
+
+@pytest.mark.parametrize("level", [PruningLevel.NONE, PruningLevel.LEMMAS, PruningLevel.APRIORI])
+def test_bench_pruning_wan(benchmark, wan_instance, level):
+    graph, library = wan_instance
+    result = benchmark.pedantic(
+        lambda: _run(graph, library, level, max_arity=4), rounds=2, iterations=1
+    )
+    reference = _run(graph, library, PruningLevel.LEMMAS, max_arity=4)
+
+    stats = result.candidates.stats
+    print()
+    print(
+        f"pruning={level.value:<8} candidates={len(result.candidates.mergings):>4} "
+        f"enumerated={stats.subsets_enumerated:>4} "
+        f"geometric={stats.pruned_geometric:>4} cost={result.total_cost:,.0f}"
+    )
+    # exactness: pruning level must never change the optimum
+    assert result.total_cost == pytest.approx(reference.total_cost, rel=1e-9)
+    if level is not PruningLevel.NONE:
+        none_count = sum(
+            1 for _ in range(0)
+        )  # candidates of NONE are C(8,2)+C(8,3)+C(8,4) = 28+56+70
+        assert len(result.candidates.mergings) < 28 + 56 + 70
+
+
+def test_bench_pruning_random_instance(benchmark):
+    """A 10-arc clustered instance: pruning's effect grows with |A|."""
+    graph = clustered_graph(
+        n_clusters=2, ports_per_cluster=4, n_arcs=10, separation=100.0, seed=7
+    )
+    library = two_tier_library()
+
+    lemmas = benchmark.pedantic(
+        lambda: _run(graph, library, PruningLevel.LEMMAS, max_arity=4),
+        rounds=1,
+        iterations=1,
+    )
+    none = _run(graph, library, PruningLevel.NONE, max_arity=4)
+
+    rows = [
+        ("merge candidates (no pruning)", "-", len(none.candidates.mergings)),
+        ("merge candidates (lemma pruning)", "-", len(lemmas.candidates.mergings)),
+        (
+            "candidate reduction",
+            "-",
+            f"{1 - len(lemmas.candidates.mergings) / max(1, len(none.candidates.mergings)):.0%}",
+        ),
+        ("optimum cost, both", "equal", f"{lemmas.total_cost:,.0f}"),
+    ]
+    print()
+    print(comparison_table("A1 — pruning ablation (10-arc clustered)", rows))
+
+    assert lemmas.total_cost == pytest.approx(none.total_cost, rel=1e-9)
+    assert len(lemmas.candidates.mergings) < len(none.candidates.mergings)

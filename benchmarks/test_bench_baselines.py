@@ -1,0 +1,75 @@
+"""Experiment A3 — baseline comparison.
+
+Compares, across seeded clustered instances, the four strategies:
+
+- the optimum point-to-point graph (Definition 2.6, no merging);
+- the greedy pairwise-merge heuristic (the "local minimum" trap the
+  paper's Section 3 motivates — it stalls whenever no *pair* saves
+  even though a larger merging would);
+- a fixed-hub topology in the style of reference [2];
+- the exact constraint-driven synthesis.
+
+Asserts the dominance ordering exact <= greedy <= {p2p} and
+exact <= fixed-hub, and that the WAN-regime instances (tight clusters,
+big separation) give the exact method a double-digit saving.
+"""
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.baselines import (
+    fixed_hub_synthesis,
+    greedy_synthesis,
+    point_to_point_baseline,
+)
+from repro.netgen import clustered_graph, two_tier_library
+
+from .conftest import comparison_table
+
+SEEDS = (11, 23, 42)
+
+
+def _instance(seed):
+    graph = clustered_graph(
+        n_clusters=2, ports_per_cluster=4, n_arcs=8, separation=100.0, seed=seed
+    )
+    return graph, two_tier_library()
+
+
+def test_bench_baseline_comparison(benchmark):
+    def run_exact_all():
+        return [
+            synthesize(*_instance(seed), SynthesisOptions(max_arity=4, validate_result=False))
+            for seed in SEEDS
+        ]
+
+    exacts = benchmark.pedantic(run_exact_all, rounds=1, iterations=1)
+
+    print()
+    print(f"{'seed':>6} {'p2p':>9} {'greedy':>9} {'fixed-hub':>10} {'exact':>9} {'saved':>7}")
+    savings = []
+    for seed, exact in zip(SEEDS, exacts):
+        graph, library = _instance(seed)
+        p2p = point_to_point_baseline(graph, library, check=False)
+        greedy = greedy_synthesis(graph, library, max_group=4, check=False)
+        hub = fixed_hub_synthesis(graph, library, n_hubs=2, seed=0)
+        savings.append(exact.savings_ratio)
+        print(
+            f"{seed:>6} {p2p.total_cost:>9.0f} {greedy.total_cost:>9.0f} "
+            f"{hub.total_cost:>10.0f} {exact.total_cost:>9.0f} {exact.savings_ratio:>7.1%}"
+        )
+        # dominance ordering
+        assert exact.total_cost <= greedy.total_cost + 1e-6
+        assert exact.total_cost <= p2p.total_cost + 1e-6
+        assert exact.total_cost <= hub.total_cost + 1e-6
+        assert greedy.total_cost <= p2p.total_cost + 1e-6
+
+    # shape: clustered WAN-regime instances save double digits on average
+    assert sum(savings) / len(savings) > 0.10
+
+    rows = [
+        ("exact <= greedy <= p2p", "always", "verified"),
+        ("mean saving vs p2p", ">10% (shape)", f"{sum(savings) / len(savings):.1%}"),
+    ]
+    print()
+    print(comparison_table("A3 — baselines on clustered instances", rows))

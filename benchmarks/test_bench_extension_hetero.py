@@ -1,0 +1,95 @@
+"""Extension experiment E2 — heterogeneous segmentation ablation.
+
+Definition 2.7 allows a segmented arc to concatenate *different*
+library links; with fixed-cost families a mixed chain can strictly beat
+every homogeneous chain.  This bench sweeps the channel length over a
+short+stub library and reports homogeneous-vs-mixed plan cost, plus an
+end-to-end synthesis with the option on/off — asserting mixed is never
+worse and strictly better off lattice points of the long link.
+"""
+
+import pytest
+
+from repro import (
+    CommunicationLibrary,
+    ConstraintGraph,
+    Link,
+    NodeKind,
+    NodeSpec,
+    Point,
+    SynthesisOptions,
+    best_mixed_segmentation,
+    best_point_to_point,
+    synthesize,
+)
+
+from .conftest import comparison_table
+
+
+def _library():
+    lib = CommunicationLibrary("stub")
+    lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+    lib.add_link(Link("stub", bandwidth=10, max_length=2, cost_fixed=3.0))
+    lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=0.5))
+    lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=1.0))
+    lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=1.0))
+    return lib
+
+
+DISTANCES = (2.0, 8.0, 10.0, 11.0, 13.0, 20.0, 21.5, 33.0)
+
+
+def test_bench_heterogeneous_sweep(benchmark):
+    lib = _library()
+
+    def sweep():
+        return [
+            (best_point_to_point(d, 5.0, lib).cost, best_mixed_segmentation(d, 5.0, lib).cost)
+            for d in DISTANCES
+        ]
+
+    pairs = benchmark(sweep)
+
+    print()
+    print(f"{'distance':>9} {'homogeneous':>12} {'mixed':>8} {'gain':>7}")
+    strict_wins = 0
+    for d, (homo, mixed) in zip(DISTANCES, pairs):
+        gain = homo - mixed
+        strict_wins += gain > 1e-9
+        print(f"{d:>9.1f} {homo:>12.1f} {mixed:>8.1f} {gain:>7.1f}")
+        assert mixed <= homo + 1e-9  # never worse
+
+    assert strict_wins >= 3  # off-lattice lengths benefit from mixing
+
+    rows = [
+        ("mixed <= homogeneous at all lengths", "always", "verified"),
+        ("lengths with strict improvement", ">= 3 of 8", strict_wins),
+    ]
+    print()
+    print(comparison_table("E2 — heterogeneous segmentation", rows))
+
+
+def test_bench_heterogeneous_end_to_end(benchmark):
+    """Three off-lattice channels: the synthesis option pays end to end."""
+    lib = _library()
+    g = ConstraintGraph(name="hetero-e2e")
+    g.add_port("u1", Point(0, 0))
+    g.add_port("v1", Point(11, 0))
+    g.add_port("u2", Point(0, 5))
+    g.add_port("v2", Point(13, 5))
+    g.add_port("u3", Point(0, 10))
+    g.add_port("v3", Point(21.5, 10))
+    g.add_channel("c1", "u1", "v1", bandwidth=5.0)
+    g.add_channel("c2", "u2", "v2", bandwidth=5.0)
+    g.add_channel("c3", "u3", "v3", bandwidth=5.0)
+
+    hetero = benchmark.pedantic(
+        lambda: synthesize(g, lib, SynthesisOptions(heterogeneous=True)),
+        rounds=2,
+        iterations=1,
+    )
+    base = synthesize(g, lib)
+    print()
+    print(f"homogeneous synthesis: {base.total_cost:.1f}")
+    print(f"heterogeneous option:  {hetero.total_cost:.1f}")
+    assert hetero.total_cost < base.total_cost - 1e-9

@@ -1,0 +1,88 @@
+"""Extension experiment E1 — the conclusion's DSM / latency-insensitive
+cost function.
+
+The paper's closing paragraph: in deep sub-micron processes fewer wires
+cross the chip in one clock period, so the synthesis should minimize
+"both stateless (buffers) and stateful (latches) repeaters".  This
+bench synthesizes the MPEG-4 architecture once, then sweeps the
+one-cycle reach l_clock downward (the DSM trend) and reports how the
+fixed 55-repeater population splits into buffers versus relay stations
+and what the weighted (c_relay = 8 x c_buffer) cost does.
+
+Shape claims asserted: relay count is monotone nondecreasing as l_clock
+shrinks, zero for slow clocks, positive once l_clock is in the
+few-millimeter range, and no timing violations while l_clock >= l_crit.
+"""
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.domains import mpeg4_example
+from repro.domains.lid import classify_repeaters, lid_cost
+from repro.domains.mpeg4 import MPEG4_MAX_ARITY
+
+from .conftest import comparison_table
+
+L_CLOCK_SWEEP_MM = (50.0, 10.0, 5.0, 3.0, 2.0, 1.2, 0.7)
+
+
+def test_bench_lid_dsm_sweep(benchmark):
+    graph, library = mpeg4_example()
+    result = synthesize(graph, library, SynthesisOptions(max_arity=MPEG4_MAX_ARITY))
+    impl = result.implementation
+
+    def sweep():
+        return [classify_repeaters(impl, lc) for lc in L_CLOCK_SWEEP_MM]
+
+    series = benchmark.pedantic(sweep, rounds=2, iterations=1)
+
+    print()
+    print(f"{'l_clock [mm]':>13} {'buffers':>8} {'relays':>7} {'violations':>11} {'cost(1,8)':>10}")
+    relay_counts = []
+    for lc, cls in zip(L_CLOCK_SWEEP_MM, series):
+        cost = cls.buffer_count * 1.0 + cls.relay_count * 8.0
+        relay_counts.append(cls.relay_count)
+        print(f"{lc:>13.1f} {cls.buffer_count:>8} {cls.relay_count:>7} "
+              f"{cls.violations:>11} {cost:>10.0f}")
+        assert cls.total == 55  # population fixed by the synthesis
+        if lc >= 1.2:  # >= 2*l_crit: even a wire straddling a mux
+            # (which cannot hold state) fits one period, so every
+            # stretch is latchable and no violations can remain.
+            assert cls.violations == 0
+
+    # DSM trend: monotone growth of stateful repeaters
+    assert relay_counts == sorted(relay_counts)
+    assert relay_counts[0] == 0  # slow clock: plain Example 2 world
+    assert relay_counts[-1] > 0  # DSM: relay stations appear
+
+    # LID-aware *selection* (the §5 proposal end-to-end): re-weight every
+    # candidate by its buffer/relay mix at a tight clock and re-solve.
+    from repro.domains.lid import lid_aware_synthesize, lid_cost
+    from repro import NodeKind
+
+    l_tight = 2.0
+    lid = lid_aware_synthesize(
+        graph, library, l_clock=l_tight, c_relay=8.0,
+        options=SynthesisOptions(max_arity=MPEG4_MAX_ARITY, validate_result=False),
+    )
+    plain_class = classify_repeaters(impl, l_tight)
+    plain_objective = (
+        impl.link_cost()
+        + sum(v.cost for v in impl.communication_vertices
+              if v.node.kind is not NodeKind.REPEATER)
+        + plain_class.buffer_count * 1.0
+        + plain_class.relay_count * 8.0
+        + plain_class.violations * 8.0
+    )
+    assert lid.total_cost <= plain_objective + 1e-6
+
+    rows = [
+        ("repeater population", 55, series[0].total),
+        ("relays at l_clock=50 mm", 0, relay_counts[0]),
+        ("relays monotone as clock tightens", "yes", "verified"),
+        ("relays at l_clock=0.7 mm", "> 0", relay_counts[-1]),
+        ("plain design under LID objective @2mm", "-", f"{plain_objective:.1f}"),
+        ("LID-aware selection objective @2mm", "<= plain", f"{lid.total_cost:.1f}"),
+    ]
+    print()
+    print(comparison_table("E1 — latency-insensitive extension (paper §5)", rows))

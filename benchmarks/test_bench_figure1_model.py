@@ -1,0 +1,54 @@
+"""Experiment F1 — Figure 1's model-to-constraint-graph derivation.
+
+Figure 1 shows a network of computational modules with point-to-point
+virtual channels (left) and the communication constraint graph derived
+from it (right): one vertex per port, one annotated arc per channel.
+The bench constructs a Figure 1-style two-module system (two channels
+one way, one the other) and times the derivation, asserting the
+structural invariants the figure illustrates:
+
+- ports of a module may share a position yet stay distinct vertices;
+- each channel becomes one arc carrying (distance, bandwidth);
+- arc lengths are consistent with the geometry.
+"""
+
+import pytest
+
+from repro import ConstraintGraph, Point
+
+
+def build_figure1_model() -> ConstraintGraph:
+    graph = ConstraintGraph(name="figure-1")
+    # module M1 with three ports (two out, one in), module M2 mirrored
+    for port in ("m1.out0", "m1.out1", "m1.in0"):
+        graph.add_port(port, Point(0, 0), module="M1")
+    for port in ("m2.in0", "m2.in1", "m2.out0"):
+        graph.add_port(port, Point(30, 40), module="M2")
+    graph.add_channel("c1", "m1.out0", "m2.in0", bandwidth=100.0)
+    graph.add_channel("c2", "m1.out1", "m2.in1", bandwidth=50.0)
+    graph.add_channel("c3", "m2.out0", "m1.in0", bandwidth=25.0)
+    return graph
+
+
+def test_bench_figure1(benchmark):
+    graph = benchmark(build_figure1_model)
+
+    # one vertex per port, one arc per channel (Definition 2.1)
+    assert len(graph.ports) == 6
+    assert len(graph) == 3
+    # dedicated ports: each port touches exactly one channel
+    for port in graph.ports:
+        assert len(graph.arcs_touching(port.name)) == 1
+    # arc properties consistent with geometry (3-4-5 triangle x 10)
+    for arc in graph.arcs:
+        assert arc.distance == pytest.approx(50.0)
+    # both directions present, as in the figure
+    assert graph.arcs_between("m1.out0", "m2.in0")
+    assert graph.arcs_between("m2.out0", "m1.in0")
+
+    print()
+    print("Figure 1 — model of communication requirement:")
+    print(f"  modules: 2, ports: {len(graph.ports)}, virtual channels: {len(graph)}")
+    for arc in graph.arcs:
+        print(f"  {arc.name}: {arc.source.name} -> {arc.target.name}, "
+              f"d = {arc.distance:g}, b = {arc.bandwidth:g}")

@@ -1,0 +1,56 @@
+"""Experiment F3 — Figure 3: the WAN and its constraint graph.
+
+Figure 3-(a) is the five-node WAN diagram, 3-(b) the derived constraint
+graph with arcs a1..a8.  The bench times the instance construction and
+asserts the reconstructed geometry (see DESIGN.md §3): the two
+clusters, every arc length, and the shared-position port approximation
+the paper adopts ("all the ports of a computation node have the same
+position").  Also regenerates the figure as SVG/DOT.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import render_constraint_graph_svg
+from repro.domains.wan import WAN_ARCS, wan_constraint_graph
+from repro.io import constraint_graph_to_dot
+
+from .conftest import comparison_table
+
+PAPER_ARC_LENGTHS_KM = {
+    "a1": 5.000,
+    "a2": math.sqrt(29),
+    "a3": math.sqrt(82),
+    "a4": math.sqrt(9413),
+    "a5": math.sqrt(10036),
+    "a6": math.sqrt(9725),
+    "a7": math.sqrt(13),
+    "a8": math.sqrt(13),
+}
+
+
+def test_bench_figure3(benchmark):
+    graph = benchmark(wan_constraint_graph)
+
+    assert {p.name for p in graph.ports} == {"A", "B", "C", "D", "E"}
+    assert {a.name for a in graph.arcs} == set(WAN_ARCS)
+
+    rows = []
+    for name, expected in PAPER_ARC_LENGTHS_KM.items():
+        measured = graph.arc(name).distance
+        rows.append((f"d({name}) [km]", f"{expected:.3f}", f"{measured:.3f}"))
+        assert measured == pytest.approx(expected)
+
+    # clusters: A,B,C within ~9 km; D,E within ~4 km; gap ~100 km
+    assert graph.distance("A", "C") < 10
+    assert graph.distance("D", "E") < 4
+    assert graph.distance("A", "D") > 90
+
+    svg = render_constraint_graph_svg(graph)
+    dot = constraint_graph_to_dot(graph)
+    assert svg.count("<line") == 8 and "digraph" in dot
+
+    print()
+    print(comparison_table("Figure 3 — WAN constraint graph arc lengths", rows))
+    print("(paper lengths inferred exactly from Tables 1-2; see DESIGN.md)")

@@ -1,0 +1,51 @@
+"""Extension experiment E4 — board-level lane-sharing crossover.
+
+The paper's Section 2 lists the "multi-chip multi-processor system" as
+a target.  This bench synthesizes the blade backplane and sweeps the
+SerDes PHY fixed cost: expensive PHYs make shared lanes the only
+affordable option (big savings), free PHYs make dedicated lanes
+competitive (savings shrink).  Asserts the monotone shape and the
+default instance's headline (>20% saving, uplinks merged).
+"""
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.domains.multichip import multichip_constraint_graph, multichip_library
+
+from .conftest import comparison_table
+
+PHY_COSTS = (5.0, 15.0, 30.0, 60.0)
+
+
+def test_bench_multichip_phy_sweep(benchmark):
+    graph = multichip_constraint_graph()
+
+    def run_default():
+        return synthesize(
+            graph, multichip_library(), SynthesisOptions(max_arity=4, validate_result=False)
+        )
+
+    default = benchmark.pedantic(run_default, rounds=1, iterations=1)
+    assert default.savings_ratio > 0.2
+    assert len(default.merged_groups) >= 2
+
+    print()
+    print(f"{'PHY cost':>9} {'p2p':>8} {'optimum':>8} {'saved':>7} {'lanes shared':>13}")
+    savings = []
+    for phy in PHY_COSTS:
+        lib = multichip_library(serdes_fixed=phy)
+        r = synthesize(graph, lib, SynthesisOptions(max_arity=4, validate_result=False))
+        savings.append(r.savings_ratio)
+        print(
+            f"{phy:>9.0f} {r.point_to_point_cost:>8.1f} {r.total_cost:>8.1f} "
+            f"{r.savings_ratio:>7.1%} {len(r.merged_groups):>13}"
+        )
+        assert r.total_cost <= r.point_to_point_cost + 1e-9
+
+    rows = [
+        ("default saving vs p2p", "> 20% (shape)", f"{default.savings_ratio:.1%}"),
+        ("uplink lanes shared at default", ">= 2 groups", len(default.merged_groups)),
+    ]
+    print()
+    print(comparison_table("E4 — backplane lane sharing", rows))

@@ -1,0 +1,57 @@
+"""Extension experiment E8 — placement-quality ablation.
+
+On nonlinear (floor-style) cost surfaces the merge-point optimizer
+places with a linear surrogate and optionally polishes with
+Nelder-Mead.  This bench quantifies the trade on the MPEG-4 instance:
+synthesis time and final cost with and without polishing.  Assertions:
+polished cost <= surrogate cost (polish only improves the candidates'
+costs, hence the covering optimum), and the gap stays small — the
+surrogate is a good placement on these instances.
+"""
+
+import time
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.domains import mpeg4_example
+from repro.domains.mpeg4 import MPEG4_MAX_ARITY
+
+from .conftest import comparison_table
+
+
+def test_bench_placement_polish_ablation(benchmark):
+    graph, library = mpeg4_example()
+
+    def run_fast():
+        return synthesize(
+            graph,
+            library,
+            SynthesisOptions(
+                max_arity=MPEG4_MAX_ARITY, polish_placement=False, validate_result=False
+            ),
+        )
+
+    fast = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    polished = synthesize(
+        graph,
+        library,
+        SynthesisOptions(
+            max_arity=MPEG4_MAX_ARITY, polish_placement=True, validate_result=False
+        ),
+    )
+    polished_time = time.perf_counter() - t0
+
+    rows = [
+        ("cost, surrogate placement", "-", f"{fast.total_cost:,.2f}"),
+        ("cost, polished placement", "-", f"{polished.total_cost:,.2f}"),
+        ("cost gap", "< 10% (shape)", f"{(fast.total_cost / polished.total_cost - 1):.2%}"),
+        ("polished synthesis time [s]", "-", f"{polished_time:.1f}"),
+    ]
+    print()
+    print(comparison_table("E8 — placement polish ablation (MPEG-4)", rows))
+
+    assert polished.total_cost <= fast.total_cost + 1e-9
+    assert fast.total_cost <= polished.total_cost * 1.10

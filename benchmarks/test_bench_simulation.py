@@ -1,0 +1,54 @@
+"""Extension experiment E5 — dynamic validation of Figure 4's
+architecture.
+
+The related work the paper positions against ([6, 7]) validates
+architectures by performance simulation.  This bench runs our fluid
+simulator on the synthesized WAN implementation: at the design point
+every channel sustains its 10 Mbps; scaled 20% past the radio links'
+headroom the dedicated channels starve while the optical trunk (3%
+utilized) shrugs — the static LP's verdict, observed dynamically.
+"""
+
+import pytest
+
+from repro import synthesize
+from repro.sim import simulate
+
+from .conftest import comparison_table
+
+
+def test_bench_simulation_wan(benchmark, wan_instance):
+    graph, library = wan_instance
+    result = synthesize(graph, library)
+    impl = result.implementation
+
+    sim = benchmark.pedantic(
+        lambda: simulate(impl, graph, duration=100.0), rounds=2, iterations=1
+    )
+
+    assert sim.all_satisfied
+    for stats in sim.channels.values():
+        assert stats.throughput == pytest.approx(10e6, rel=1e-3)
+
+    overload = simulate(impl, graph, duration=100.0, demand_scale=1.2)
+    starved = overload.starved_channels()
+
+    trunk_util = max(
+        s.utilization for s in sim.links.values() if s.capacity == 1e9
+    )
+    radio_util = max(
+        s.utilization for s in sim.links.values() if s.capacity == 11e6
+    )
+
+    rows = [
+        ("channels sustained at design point", "8 of 8", f"{8 - len(sim.starved_channels())} of 8"),
+        ("optical trunk utilization", "~3% (30M/1G)", f"{trunk_util:.1%}"),
+        ("radio link utilization", "~91% (10M/11M)", f"{radio_util:.1%}"),
+        ("starved channels at 1.2x demand", ">= 5 (radio-fed)", len(starved)),
+    ]
+    print()
+    print(comparison_table("E5 — dynamic flow validation (WAN)", rows))
+
+    assert trunk_util == pytest.approx(0.03, rel=0.1)
+    assert radio_util == pytest.approx(10 / 11, rel=0.05)
+    assert len(starved) >= 5

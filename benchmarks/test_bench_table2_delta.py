@@ -1,0 +1,44 @@
+"""Experiment T2 — regenerate the paper's Table 2.
+
+Table 2 is the Merging Distance Sum Matrix
+Δ(a_i, a_j) = ||p(u_i) - p(u_j)|| + ||p(v_i) - p(v_j)|| of the WAN
+example.  The bench times the Δ computation (the O(|A|²) geometric
+kernel of Figure 2's precomputation) and asserts all printed entries.
+"""
+
+import pytest
+
+from repro import compute_delta, compute_matrices
+from repro.analysis import format_delta_table
+
+from .conftest import comparison_table
+
+PAPER_TABLE_2 = {
+    (0, 1): 9.05, (0, 2): 14.05, (0, 3): 102.02, (0, 4): 97.02,
+    (0, 5): 102.40, (0, 6): 200.09, (0, 7): 200.17,
+    (1, 2): 5.0, (1, 3): 103.61, (1, 4): 98.61, (1, 5): 104.00,
+    (1, 6): 201.69, (1, 7): 201.58,
+    (2, 3): 98.61, (2, 4): 103.61, (2, 5): 107.67, (2, 6): 198.61, (2, 7): 198.42,
+    (3, 4): 5.0, (3, 5): 9.05, (3, 6): 100.00, (3, 7): 100.63,
+    (4, 5): 5.38, (4, 6): 103.07, (4, 7): 103.78,
+    (5, 6): 101.40, (5, 7): 102.22,
+    (6, 7): 7.21,
+}
+
+
+def test_bench_table2(benchmark, wan_instance):
+    graph, _library = wan_instance
+
+    delta = benchmark(compute_delta, graph)
+
+    rows = []
+    for (i, j), paper_value in sorted(PAPER_TABLE_2.items()):
+        measured = float(delta[i, j])
+        rows.append((f"Delta(a{i + 1}, a{j + 1}) [km]", paper_value, f"{measured:.2f}"))
+        assert measured == pytest.approx(paper_value, abs=0.011), (i, j)
+
+    print()
+    print(comparison_table("Table 2 — Δ matrix (28 upper-triangle entries)", rows[:6]))
+    print(f"... all {len(rows)} entries within ±0.011 km of the paper")
+    print()
+    print(format_delta_table(compute_matrices(graph)))

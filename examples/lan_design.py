@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fiber-or-wireless LAN design — the introduction's third domain.
+
+Synthesizes a campus LAN from a mixed copper/wifi/fiber library, then
+sweeps the fiber trenching price to locate the technology crossover:
+below it the west-building uplinks share one fiber trunk; above it the
+synthesizer switches to repeated wifi hops.
+
+Run:  python examples/lan_design.py           (~1 min)
+"""
+
+from repro import Link, NodeKind, NodeSpec, SynthesisOptions, synthesize
+from repro.analysis import cost_breakdown, synthesis_report
+from repro.core.library import CommunicationLibrary
+from repro.core.units import Gbps, Mbps
+from repro.domains.lan import lan_constraint_graph
+
+graph = lan_constraint_graph()
+
+
+def make_library(fiber_per_m: float, switch_cost: float = 250.0) -> CommunicationLibrary:
+    lib = CommunicationLibrary(f"lan-fiber@{fiber_per_m}-sw@{switch_cost}")
+    lib.add_link(Link("copper", bandwidth=Mbps(100), max_length=90.0, cost_per_unit=0.5, cost_fixed=5.0))
+    lib.add_link(Link("wifi", bandwidth=Mbps(300), max_length=120.0, cost_per_unit=0.2, cost_fixed=80.0))
+    lib.add_link(Link("fiber", bandwidth=Gbps(10), cost_per_unit=fiber_per_m, cost_fixed=40.0))
+    lib.add_node(NodeSpec("ap-repeater", NodeKind.REPEATER, cost=120.0))
+    lib.add_node(NodeSpec("agg-switch", NodeKind.SWITCH, cost=switch_cost, max_degree=24))
+    return lib
+
+
+print("Campus LAN: 5 clients x duplex channels to the server room\n")
+
+result = synthesize(graph, make_library(0.8), SynthesisOptions(max_arity=3))
+print(synthesis_report(result, title="Synthesis at fiber = $0.80/m"))
+print()
+
+print("fiber price sweep ($/m) — pure technology choice ($250 switches):")
+print(f"{'price':>7} {'total $':>10} {'fiber $':>10} {'wifi $':>10} {'merged':>7}")
+for price in (0.2, 0.5, 0.8, 1.5, 3.0, 6.0):
+    r = synthesize(graph, make_library(price), SynthesisOptions(max_arity=3))
+    b = cost_breakdown(r.implementation)
+    print(
+        f"{price:>7.2f} {r.total_cost:>10.0f} {b.get('link:fiber', 0.0):>10.0f} "
+        f"{b.get('link:wifi', 0.0):>10.0f} {len(r.merged_groups):>7}"
+    )
+print("\nWith $250 aggregation switches, sharing a trunk never amortizes the")
+print("node cost — every channel is technology-swapped individually.")
+print()
+
+print("switch cost sweep at fiber = $1.50/m — when does merging appear?")
+print(f"{'switch $':>9} {'total $':>10} {'merged groups':>30}")
+for switch_cost in (250.0, 100.0, 40.0, 10.0, 0.0):
+    r = synthesize(graph, make_library(1.5, switch_cost), SynthesisOptions(max_arity=4))
+    groups = "; ".join("+".join(g) for g in r.merged_groups) or "-"
+    print(f"{switch_cost:>9.0f} {r.total_cost:>10.0f} {groups:>30}")
+print("\nCheap switches flip the economics: client uplinks start sharing")
+print("fiber trunks exactly as the paper's K-way merging predicts.")

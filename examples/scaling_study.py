@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Scaling and baseline study on random clustered instances.
+
+Sweeps the constraint-graph size on WAN-like clustered workloads and
+compares, per size: exact synthesis cost/runtime, the point-to-point
+baseline, the greedy merging heuristic, and a fixed-hub design.
+Demonstrates where the exact algorithm's advantage comes from and how
+the candidate space grows.
+
+Run:  python examples/scaling_study.py        (~1 min)
+"""
+
+import time
+
+from repro import SynthesisOptions, synthesize
+from repro.baselines import fixed_hub_synthesis, greedy_synthesis, point_to_point_baseline
+from repro.netgen import clustered_graph, two_tier_library
+
+library = two_tier_library(mux_cost=0.0, demux_cost=0.0)
+
+print(f"{'|A|':>4} {'p2p':>9} {'greedy':>9} {'fixed-hub':>10} {'exact':>9} "
+      f"{'saved':>6} {'cands':>6} {'time':>7}")
+
+for n_arcs in (4, 6, 8, 10, 12):
+    graph = clustered_graph(
+        n_clusters=2,
+        ports_per_cluster=4,
+        n_arcs=n_arcs,
+        cluster_spread=5.0,
+        separation=100.0,
+        seed=42,
+    )
+    p2p = point_to_point_baseline(graph, library, check=False)
+    greedy = greedy_synthesis(graph, library, max_group=4, check=False)
+    hub = fixed_hub_synthesis(graph, library, n_hubs=2, seed=0)
+
+    t0 = time.perf_counter()
+    exact = synthesize(graph, library, SynthesisOptions(max_arity=4, validate_result=False))
+    elapsed = time.perf_counter() - t0
+
+    print(
+        f"{n_arcs:>4} {p2p.total_cost:>9.0f} {greedy.total_cost:>9.0f} "
+        f"{hub.total_cost:>10.0f} {exact.total_cost:>9.0f} "
+        f"{exact.savings_ratio:>6.1%} {exact.covering.n_columns:>6} {elapsed:>6.2f}s"
+    )
+
+print()
+print("Notes: 'saved' is exact-vs-p2p; greedy >= exact always, and the")
+print("fixed-hub design pays for its forced detours. Candidate counts")
+print("('cands') stay small thanks to the Lemma 3.1/3.2 pruning.")

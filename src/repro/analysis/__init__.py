@@ -1,0 +1,37 @@
+"""Reporting, statistics and visualization helpers."""
+
+from .charts import render_pareto_svg, render_sweep_svg
+from .markdown import breakdown_to_markdown, markdown_table, result_to_markdown
+from .pareto import ParetoPoint, latency_sweep, pareto_front
+from .sensitivity import StabilityReport, parameter_threshold, selection_stability
+from .report import (
+    format_delta_table,
+    format_gamma_table,
+    format_matrix_table,
+    synthesis_report,
+)
+from .stats import cost_breakdown, crossover_point, summarize_runs
+from .visualize import render_constraint_graph_svg, render_implementation_svg
+
+__all__ = [
+    "format_matrix_table",
+    "format_gamma_table",
+    "format_delta_table",
+    "synthesis_report",
+    "cost_breakdown",
+    "summarize_runs",
+    "crossover_point",
+    "render_constraint_graph_svg",
+    "render_implementation_svg",
+    "markdown_table",
+    "result_to_markdown",
+    "breakdown_to_markdown",
+    "ParetoPoint",
+    "latency_sweep",
+    "pareto_front",
+    "parameter_threshold",
+    "selection_stability",
+    "StabilityReport",
+    "render_sweep_svg",
+    "render_pareto_svg",
+]

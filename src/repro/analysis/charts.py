@@ -1,0 +1,192 @@
+"""Dependency-free SVG charts for sweep results.
+
+Matplotlib is deliberately not a dependency; these helpers render the
+figure shapes the benchmark harness produces — sweep lines (cost vs a
+parameter), Pareto staircases — as standalone SVG strings.  They are
+intentionally minimal: axes, ticks, polyline/steps, labels, a legend.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .pareto import ParetoPoint
+
+__all__ = ["render_sweep_svg", "render_pareto_svg"]
+
+_PALETTE = ["#4053d3", "#b51d14", "#00b25d", "#ddb310", "#00beff", "#fb49b0"]
+
+
+def _nice_ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / max(1, n - 1)
+    magnitude = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 0.5:
+        if t >= lo - step * 0.5:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-2:
+        return f"{v:.1e}"
+    return f"{v:g}"
+
+
+class _Plot:
+    """Shared scaffolding: viewport, axes, point mapping."""
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float],
+                 width: int, height: int, x_label: str, y_label: str):
+        self.width, self.height = width, height
+        self.ml, self.mr, self.mt, self.mb = 64, 16, 20, 44
+        self.x_lo, self.x_hi = min(xs), max(xs)
+        self.y_lo, self.y_hi = min(ys), max(ys)
+        if self.x_hi == self.x_lo:
+            self.x_hi = self.x_lo + 1.0
+        if self.y_hi == self.y_lo:
+            self.y_hi = self.y_lo + 1.0
+        pad_y = 0.06 * (self.y_hi - self.y_lo)
+        self.y_lo -= pad_y
+        self.y_hi += pad_y
+        self.x_label, self.y_label = x_label, y_label
+        self.elements: List[str] = []
+
+    def x(self, v: float) -> float:
+        span = self.x_hi - self.x_lo
+        return self.ml + (v - self.x_lo) / span * (self.width - self.ml - self.mr)
+
+    def y(self, v: float) -> float:
+        span = self.y_hi - self.y_lo
+        return self.height - self.mb - (v - self.y_lo) / span * (self.height - self.mt - self.mb)
+
+    def draw_axes(self) -> None:
+        x0, y0 = self.ml, self.height - self.mb
+        x1, y1 = self.width - self.mr, self.mt
+        self.elements.append(
+            f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="#444"/>'
+            f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="#444"/>'
+        )
+        for t in _nice_ticks(self.x_lo, self.x_hi):
+            px = self.x(t)
+            self.elements.append(
+                f'<line x1="{px:.1f}" y1="{y0}" x2="{px:.1f}" y2="{y0 + 4}" stroke="#444"/>'
+                f'<text x="{px:.1f}" y="{y0 + 16}" font-size="10" text-anchor="middle" '
+                f'font-family="sans-serif">{_fmt(t)}</text>'
+            )
+        for t in _nice_ticks(self.y_lo, self.y_hi):
+            py = self.y(t)
+            self.elements.append(
+                f'<line x1="{x0 - 4}" y1="{py:.1f}" x2="{x0}" y2="{py:.1f}" stroke="#444"/>'
+                f'<text x="{x0 - 7}" y="{py + 3:.1f}" font-size="10" text-anchor="end" '
+                f'font-family="sans-serif">{_fmt(t)}</text>'
+            )
+        self.elements.append(
+            f'<text x="{(x0 + x1) / 2:.0f}" y="{self.height - 8}" font-size="11" '
+            f'text-anchor="middle" font-family="sans-serif">{html.escape(self.x_label)}</text>'
+        )
+        self.elements.append(
+            f'<text x="14" y="{(y0 + y1) / 2:.0f}" font-size="11" text-anchor="middle" '
+            f'font-family="sans-serif" transform="rotate(-90 14 {(y0 + y1) / 2:.0f})">'
+            f'{html.escape(self.y_label)}</text>'
+        )
+
+    def to_svg(self, title: str) -> str:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"<title>{html.escape(title)}</title>\n"
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            + "\n".join(self.elements)
+            + "\n</svg>\n"
+        )
+
+
+def render_sweep_svg(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    x_label: str = "parameter",
+    y_label: str = "cost",
+    title: str = "sweep",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """Multi-series line chart: one polyline per named series."""
+    if not xs or not series:
+        raise ValueError("need at least one x and one series")
+    all_ys = [v for ys in series.values() for v in ys]
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != {len(xs)} xs")
+
+    plot = _Plot(xs, all_ys, width, height, x_label, y_label)
+    plot.draw_axes()
+    legend_y = plot.mt + 4
+    for i, (name, ys) in enumerate(series.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        points = " ".join(f"{plot.x(x):.1f},{plot.y(y):.1f}" for x, y in zip(xs, ys))
+        plot.elements.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            plot.elements.append(
+                f'<circle cx="{plot.x(x):.1f}" cy="{plot.y(y):.1f}" r="2.6" fill="{color}"/>'
+            )
+        plot.elements.append(
+            f'<rect x="{width - 150}" y="{legend_y - 8}" width="16" height="4" fill="{color}"/>'
+            f'<text x="{width - 130}" y="{legend_y}" font-size="10" '
+            f'font-family="sans-serif">{html.escape(name)}</text>'
+        )
+        legend_y += 14
+    return plot.to_svg(title)
+
+
+def render_pareto_svg(
+    points: Sequence[ParetoPoint],
+    title: str = "cost / latency frontier",
+    width: int = 560,
+    height: int = 360,
+) -> str:
+    """All sweep points as dots, the Pareto frontier as a staircase."""
+    if not points:
+        raise ValueError("need at least one point")
+    from .pareto import pareto_front
+
+    xs = [p.worst_hops for p in points]
+    ys = [p.cost for p in points]
+    plot = _Plot(xs, ys, width, height, "worst-case hops", "cost")
+    plot.draw_axes()
+
+    front = pareto_front(points)
+    # staircase: horizontal then vertical between consecutive points
+    if len(front) >= 2:
+        path = [f"M {plot.x(front[0].worst_hops):.1f} {plot.y(front[0].cost):.1f}"]
+        for a, b in zip(front, front[1:]):
+            path.append(f"L {plot.x(b.worst_hops):.1f} {plot.y(a.cost):.1f}")
+            path.append(f"L {plot.x(b.worst_hops):.1f} {plot.y(b.cost):.1f}")
+        plot.elements.append(
+            f'<path d="{" ".join(path)}" fill="none" stroke="{_PALETTE[0]}" '
+            f'stroke-width="2" stroke-dasharray="5,3"/>'
+        )
+    for p in points:
+        on_front = p in front
+        color = _PALETTE[1] if on_front else "#999999"
+        plot.elements.append(
+            f'<circle cx="{plot.x(p.worst_hops):.1f}" cy="{plot.y(p.cost):.1f}" '
+            f'r="{4 if on_front else 3}" fill="{color}"/>'
+        )
+    return plot.to_svg(title)

@@ -1,0 +1,81 @@
+"""Markdown export of results — for EXPERIMENTS.md-style records.
+
+Turns synthesis results, comparison rows and cost breakdowns into
+GitHub-flavoured markdown so benchmark scripts can regenerate pieces of
+the repository's own documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..core.synthesis import SynthesisResult
+from .stats import cost_breakdown
+
+__all__ = ["markdown_table", "result_to_markdown", "breakdown_to_markdown"]
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e15 or abs(value) < 1e-4):
+            return f"{value:.4g}"
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """A GitHub-flavoured markdown table; pipes in cells are escaped."""
+    def esc(text: str) -> str:
+        return text.replace("|", "\\|")
+
+    head = "| " + " | ".join(esc(h) for h in headers) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(esc(_render_cell(c)) for c in row) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, rule] + body)
+
+
+def result_to_markdown(result: SynthesisResult, title: str = "Synthesis result") -> str:
+    """One synthesis run as a markdown section: headline numbers, the
+    selected candidates, and candidate-generation counts."""
+    lines: List[str] = [f"### {title}", ""]
+    lines.append(
+        markdown_table(
+            ["quantity", "value"],
+            [
+                ("architecture cost", result.total_cost),
+                ("point-to-point baseline", result.point_to_point_cost),
+                ("savings", f"{result.savings_ratio:.1%}"),
+                ("candidates (p2p / merge)", f"{len(result.candidates.point_to_point)} / {len(result.candidates.mergings)}"),
+                ("covering matrix", f"{result.covering.n_rows} x {result.covering.n_columns}"),
+                ("elapsed [s]", round(result.elapsed_seconds, 3)),
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(
+        markdown_table(
+            ["selected candidate", "arcs", "cost"],
+            [
+                (c.label(), len(c.arc_names), c.cost)
+                for c in sorted(result.selected, key=lambda c: -c.cost)
+            ],
+        )
+    )
+    return "\n".join(lines)
+
+
+def breakdown_to_markdown(result: SynthesisResult) -> str:
+    """Per-component cost breakdown of the synthesized architecture."""
+    breakdown = cost_breakdown(result.implementation)
+    component_rows = [
+        (key, value)
+        for key, value in sorted(breakdown.items())
+        if not key.startswith("__")
+    ]
+    component_rows.append(("**total**", breakdown["__total__"]))
+    return markdown_table(["component", "cost"], component_rows)

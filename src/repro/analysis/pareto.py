@@ -1,0 +1,91 @@
+"""Cost-versus-latency Pareto exploration.
+
+Merging trades money for hops: a shared trunk inserts a mux and demux
+(and possibly repeaters) on every merged channel's path.  Sweeping the
+``max_merge_hops`` budget and synthesizing at each point yields the
+architecture family a designer actually chooses from; this module runs
+the sweep and extracts the Pareto-efficient (hops, cost) frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.library import CommunicationLibrary
+from ..core.merging import MergingPlan
+from ..core.synthesis import SynthesisOptions, SynthesisResult, synthesize
+
+__all__ = ["ParetoPoint", "latency_sweep", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One synthesized design point of the sweep."""
+
+    hop_budget: Optional[int]
+    worst_hops: int
+    cost: float
+    merged_groups: Tuple[Tuple[str, ...], ...]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weakly better on both axes, strictly on one."""
+        better_cost = self.cost <= other.cost
+        better_hops = self.worst_hops <= other.worst_hops
+        strict = self.cost < other.cost or self.worst_hops < other.worst_hops
+        return better_cost and better_hops and strict
+
+
+def _worst_hops(result: SynthesisResult) -> int:
+    worst = 0
+    for candidate in result.selected:
+        plan = candidate.plan
+        hops = plan.max_hops if hasattr(plan, "max_hops") else 0
+        worst = max(worst, hops)
+    return worst
+
+
+def latency_sweep(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    budgets: Sequence[Optional[int]] = (0, 2, 4, 8, 16, None),
+    options: Optional[SynthesisOptions] = None,
+) -> List[ParetoPoint]:
+    """Synthesize once per hop budget; returns one point per budget.
+
+    ``None`` in ``budgets`` means unconstrained.  Validation is skipped
+    inside the sweep for speed (each point is still an exact optimum of
+    its constrained candidate set).
+    """
+    base = options or SynthesisOptions()
+    points: List[ParetoPoint] = []
+    for budget in budgets:
+        opts = replace(base, max_merge_hops=budget, validate_result=False)
+        result = synthesize(graph, library, opts)
+        points.append(
+            ParetoPoint(
+                hop_budget=budget,
+                worst_hops=_worst_hops(result),
+                cost=result.total_cost,
+                merged_groups=tuple(tuple(g) for g in result.merged_groups),
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """The non-dominated subset, sorted by worst_hops then cost.
+
+    Duplicate (hops, cost) pairs collapse to one representative."""
+    front: List[ParetoPoint] = []
+    seen = set()
+    for p in points:
+        if any(q.dominates(p) for q in points):
+            continue
+        key = (p.worst_hops, round(p.cost, 9))
+        if key in seen:
+            continue
+        seen.add(key)
+        front.append(p)
+    return sorted(front, key=lambda p: (p.worst_hops, p.cost))

@@ -1,0 +1,144 @@
+"""Paper-style text reports.
+
+:func:`format_gamma_table` / :func:`format_delta_table` render the Γ
+and Δ matrices exactly as the paper's Tables 1 and 2: upper triangle
+only, two decimals, **truncated** (not rounded — the paper's 10.38 for
+Γ(a1, a2) = 10.3852 shows truncation).  :func:`synthesis_report` is a
+human-readable account of a full synthesis run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..core.candidates import CandidateSet
+from ..core.implementation import (
+    ArcImplementationKind,
+    classify_arc_implementation,
+    shared_arc_groups,
+)
+from ..core.matrices import ArcMatrices
+from ..core.synthesis import SynthesisResult
+
+__all__ = [
+    "truncate",
+    "format_matrix_table",
+    "format_gamma_table",
+    "format_delta_table",
+    "candidate_count_summary",
+    "synthesis_report",
+]
+
+
+def truncate(value: float, decimals: int = 2) -> str:
+    """Format ``value`` with ``decimals`` digits, truncating toward zero
+    (the paper's table convention: 10.3852 → "10.38")."""
+    factor = 10**decimals
+    t = math.trunc(value * factor) / factor
+    return f"{t:.{decimals}f}"
+
+
+def format_matrix_table(
+    matrices: ArcMatrices,
+    which: str = "gamma",
+    decimals: int = 2,
+    col_width: int = 8,
+) -> str:
+    """Upper-triangle table of Γ or Δ, arc names as headers."""
+    if which == "gamma":
+        m = matrices.gamma
+    elif which == "delta":
+        m = matrices.delta
+    else:
+        raise ValueError(f"which must be 'gamma' or 'delta', got {which!r}")
+    names = matrices.arc_names
+    n = len(names)
+
+    header = " " * col_width + "".join(f"{name:>{col_width}}" for name in names)
+    lines = [header]
+    for i in range(n):
+        cells = [f"{names[i]:<{col_width}}"]
+        for j in range(n):
+            if j > i:
+                cells.append(f"{truncate(float(m[i, j]), decimals):>{col_width}}")
+            else:
+                cells.append(" " * col_width)
+        lines.append("".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def format_gamma_table(matrices: ArcMatrices, decimals: int = 2) -> str:
+    """The paper's Table 1: Γ(a_i, a_j) = d(a_i) + d(a_j)."""
+    return format_matrix_table(matrices, "gamma", decimals)
+
+
+def format_delta_table(matrices: ArcMatrices, decimals: int = 2) -> str:
+    """The paper's Table 2: Δ(a_i, a_j) = ||p(u)-p(u')|| + ||p(v)-p(v')||."""
+    return format_matrix_table(matrices, "delta", decimals)
+
+
+def candidate_count_summary(candidates: CandidateSet) -> str:
+    """One line in the paper's Figure 4 style: "8 point-to-point,
+    thirteen 2-way, ... candidate arc mergings"."""
+    parts = [f"{len(candidates.point_to_point)} point-to-point"]
+    for k in sorted(candidates.stats.survivors_by_k):
+        parts.append(f"{candidates.stats.survivors_by_k[k]} {k}-way")
+    return ", ".join(parts)
+
+
+def synthesis_report(result: SynthesisResult, title: Optional[str] = None) -> str:
+    """Multi-section report of one synthesis run."""
+    impl = result.implementation
+    lines: List[str] = []
+    if title:
+        lines += [title, "=" * len(title), ""]
+
+    lines.append("Candidate generation")
+    lines.append(f"  {candidate_count_summary(result.candidates)}")
+    stats = result.candidates.stats
+    lines.append(
+        f"  subsets enumerated: {stats.subsets_enumerated}, pruned geometric: "
+        f"{stats.pruned_geometric}, pruned bandwidth: {stats.pruned_bandwidth}"
+    )
+    for arc, k in sorted(stats.retired_at_k.items()):
+        lines.append(f"  arc {arc} retired at arity {k} (Theorem 3.1)")
+    lines.append("")
+
+    lines.append("Covering step")
+    lines.append(
+        f"  matrix: {result.covering.n_rows} rows x {result.covering.n_columns} columns, "
+        f"density {result.covering.density():.2f}"
+    )
+    for key, value in sorted(result.cover.stats.items()):
+        lines.append(f"  {key}: {value:g}")
+    lines.append("")
+
+    lines.append("Selected implementation")
+    for cand in sorted(result.selected, key=lambda c: c.label()):
+        lines.append(f"  {cand.label():<40} cost {cand.cost:,.4g}")
+    lines.append("")
+
+    lines.append("Per-arc structures")
+    group_of = {}
+    for group in shared_arc_groups(impl):
+        for arc_name in group:
+            group_of[arc_name] = group
+    for arc_name in impl.implemented_arcs:
+        kind = classify_arc_implementation(impl, arc_name)
+        if arc_name in group_of:
+            partners = "+".join(group_of[arc_name])
+            lines.append(f"  {arc_name}: merged (shared trunk {partners})")
+        else:
+            lines.append(f"  {arc_name}: {kind.value}")
+    lines.append("")
+
+    lines.append("Totals")
+    lines.append(f"  architecture cost:        {result.total_cost:,.6g}")
+    lines.append(f"  point-to-point baseline:  {result.point_to_point_cost:,.6g}")
+    lines.append(f"  savings:                  {result.savings:,.6g} ({result.savings_ratio:.1%})")
+    lines.append(
+        f"  components: {len(impl.communication_vertices)} nodes, {len(impl.arcs)} link instances"
+    )
+    lines.append(f"  elapsed: {result.elapsed_seconds:.3f} s")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Sensitivity analysis: where do synthesis decisions flip?
+
+Two tools:
+
+- :func:`parameter_threshold` — bisect a scalar library/workload
+  parameter for the point where a predicate on the synthesis result
+  changes (e.g. the trunk price at which the WAN's a4+a5+a6 merge stops
+  paying).  Works for any monotone decision boundary.
+- :func:`selection_stability` — re-synthesize under multiplicative
+  perturbations of every link price and report how often the selected
+  topology (the set of merge groups) survives — a robustness score for
+  a design before committing to it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.library import CommunicationLibrary
+from ..core.synthesis import SynthesisOptions, SynthesisResult, synthesize
+
+__all__ = ["parameter_threshold", "selection_stability", "StabilityReport"]
+
+
+def parameter_threshold(
+    build_instance: Callable[[float], Tuple[ConstraintGraph, CommunicationLibrary]],
+    predicate: Callable[[SynthesisResult], bool],
+    lo: float,
+    hi: float,
+    tol: float = 1e-3,
+    options: Optional[SynthesisOptions] = None,
+    max_iterations: int = 60,
+) -> float:
+    """Bisect for the parameter value where ``predicate`` flips.
+
+    ``build_instance(x)`` constructs the (graph, library) at parameter
+    value ``x``; the predicate must hold at ``lo`` and fail at ``hi``
+    (or vice versa) — checked up front, ``ValueError`` otherwise.
+    Returns the boundary to within ``tol`` (absolute).
+    """
+    if not lo < hi:
+        raise ValueError(f"need lo < hi, got {lo} >= {hi}")
+    opts = options or SynthesisOptions(validate_result=False)
+
+    def holds(x: float) -> bool:
+        return predicate(synthesize(*build_instance(x), opts))
+
+    at_lo = holds(lo)
+    at_hi = holds(hi)
+    if at_lo == at_hi:
+        raise ValueError(
+            f"predicate is {at_lo} at both endpoints [{lo}, {hi}] — no boundary to bisect"
+        )
+
+    for _ in range(max_iterations):
+        if hi - lo <= tol:
+            break
+        mid = 0.5 * (lo + hi)
+        if holds(mid) == at_lo:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+class StabilityReport:
+    """Outcome of :func:`selection_stability`."""
+
+    def __init__(
+        self,
+        baseline_groups: Tuple[Tuple[str, ...], ...],
+        trial_groups: List[Tuple[Tuple[str, ...], ...]],
+    ):
+        self.baseline_groups = baseline_groups
+        self.trial_groups = trial_groups
+
+    @property
+    def trials(self) -> int:
+        """Number of perturbed re-syntheses run."""
+        return len(self.trial_groups)
+
+    @property
+    def outcomes(self) -> List[bool]:
+        """Per trial: did the full merge structure match the baseline?"""
+        return [g == self.baseline_groups for g in self.trial_groups]
+
+    @property
+    def stable_fraction(self) -> float:
+        """Fraction of perturbations preserving the whole merge structure."""
+        if not self.trial_groups:
+            return 1.0
+        return sum(self.outcomes) / len(self.trial_groups)
+
+    def group_persistence(self, group: Tuple[str, ...]) -> float:
+        """Fraction of trials in which one specific merge group survived —
+        useful when secondary, cost-neutral merges wobble while the
+        primary decision is rock-solid."""
+        if not self.trial_groups:
+            return 1.0
+        return sum(group in trial for trial in self.trial_groups) / len(self.trial_groups)
+
+
+def selection_stability(
+    graph: ConstraintGraph,
+    library_builder: Callable[[np.random.Generator], CommunicationLibrary],
+    trials: int = 20,
+    seed: int = 0,
+    options: Optional[SynthesisOptions] = None,
+) -> StabilityReport:
+    """Robustness of the merge structure under price perturbations.
+
+    ``library_builder(rng)`` must return a (possibly perturbed) library
+    — callers typically scale each price by ``rng.uniform(1-eps, 1+eps)``.
+    The report compares each perturbed optimum's merge groups against
+    the rng-free baseline (built with a fresh generator seeded to
+    ``seed``; builders that ignore the rng yield a trivially stable
+    report).
+    """
+    opts = options or SynthesisOptions(validate_result=False)
+    baseline_lib = library_builder(np.random.default_rng(seed))
+    baseline = synthesize(graph, baseline_lib, opts)
+    baseline_groups = tuple(tuple(g) for g in baseline.merged_groups)
+
+    trial_groups: List[Tuple[Tuple[str, ...], ...]] = []
+    for t in range(trials):
+        rng = np.random.default_rng(seed + 1 + t)
+        lib = library_builder(rng)
+        result = synthesize(graph, lib, opts)
+        trial_groups.append(tuple(tuple(g) for g in result.merged_groups))
+    return StabilityReport(baseline_groups, trial_groups)

@@ -1,0 +1,63 @@
+"""Small statistics helpers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.implementation import ImplementationGraph
+
+__all__ = ["cost_breakdown", "summarize_runs", "crossover_point"]
+
+
+def cost_breakdown(impl: ImplementationGraph) -> Dict[str, float]:
+    """Total cost per library component type (links by name, nodes by
+    name), plus ``__links__``/``__nodes__``/``__total__`` aggregates."""
+    breakdown: Counter = Counter()
+    for arc in impl.arcs:
+        breakdown[f"link:{arc.link.name}"] += arc.cost
+    for vertex in impl.communication_vertices:
+        breakdown[f"node:{vertex.node.name}"] += vertex.cost
+    result = dict(breakdown)
+    result["__links__"] = impl.link_cost()
+    result["__nodes__"] = impl.node_cost()
+    result["__total__"] = impl.cost()
+    return result
+
+
+def summarize_runs(values: Sequence[float]) -> Dict[str, float]:
+    """mean / std / min / max / median of a sample (n >= 1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize_runs needs at least one value")
+    return {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=0)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "median": float(np.median(arr)),
+    }
+
+
+def crossover_point(
+    xs: Sequence[float], a_values: Sequence[float], b_values: Sequence[float]
+) -> Optional[float]:
+    """The x where series ``a`` stops beating series ``b`` (linear
+    interpolation of the first sign change of ``b - a``); ``None`` when
+    one series dominates throughout."""
+    xs = list(xs)
+    diffs = [b - a for a, b in zip(a_values, b_values)]
+    if len(xs) != len(diffs):
+        raise ValueError("xs and value series must have equal length")
+    for i in range(1, len(diffs)):
+        d0, d1 = diffs[i - 1], diffs[i]
+        if d0 == 0:
+            return xs[i - 1]
+        if (d0 > 0) != (d1 > 0):
+            # linear interpolation between the two sample points
+            t = d0 / (d0 - d1)
+            return xs[i - 1] + t * (xs[i] - xs[i - 1])
+    return None

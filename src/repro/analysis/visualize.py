@@ -1,0 +1,115 @@
+"""Dependency-free SVG rendering of constraint and implementation graphs.
+
+These produce the figures the paper draws by hand: Figure 3-style
+constraint graphs (ports + dashed virtual channels) and Figure 4/5-style
+implementation graphs (link instances styled per link type,
+communication nodes as small squares).  Output is a plain SVG string —
+write it to a file and open it in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.geometry import Point, bounding_box
+from ..core.implementation import ImplementationGraph
+
+__all__ = ["render_constraint_graph_svg", "render_implementation_svg"]
+
+_PALETTE = ["#4053d3", "#ddb310", "#b51d14", "#00beff", "#fb49b0", "#00b25d", "#cacaca"]
+
+
+class _Canvas:
+    """Maps model coordinates into a padded SVG viewport."""
+
+    def __init__(self, points: List[Point], width: int = 640, height: int = 480, pad: int = 48):
+        lo, hi = bounding_box(points)
+        span_x = max(hi.x - lo.x, 1e-9)
+        span_y = max(hi.y - lo.y, 1e-9)
+        scale = min((width - 2 * pad) / span_x, (height - 2 * pad) / span_y)
+        self.lo, self.scale, self.pad = lo, scale, pad
+        self.width, self.height = width, height
+        self.elements: List[str] = []
+
+    def xy(self, p: Point) -> Tuple[float, float]:
+        # SVG y grows downward; model y grows upward.
+        x = self.pad + (p.x - self.lo.x) * self.scale
+        y = self.height - self.pad - (p.y - self.lo.y) * self.scale
+        return x, y
+
+    def line(self, a: Point, b: Point, color: str, dash: Optional[str] = None, width: float = 1.6) -> None:
+        x1, y1 = self.xy(a)
+        x2, y2 = self.xy(b)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def circle(self, p: Point, r: float, fill: str, label: Optional[str] = None) -> None:
+        x, y = self.xy(p)
+        self.elements.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}"/>')
+        if label:
+            self.elements.append(
+                f'<text x="{x + r + 3:.1f}" y="{y - r - 2:.1f}" font-size="12" '
+                f'font-family="sans-serif">{html.escape(label)}</text>'
+            )
+
+    def square(self, p: Point, r: float, fill: str) -> None:
+        x, y = self.xy(p)
+        self.elements.append(
+            f'<rect x="{x - r:.1f}" y="{y - r:.1f}" width="{2 * r}" height="{2 * r}" fill="{fill}"/>'
+        )
+
+    def to_svg(self, title: str) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f"<title>{html.escape(title)}</title>\n"
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+def render_constraint_graph_svg(graph: ConstraintGraph, width: int = 640, height: int = 480) -> str:
+    """Figure 3-style drawing: ports as dots, channels as dashed arrows."""
+    canvas = _Canvas([p.position for p in graph.ports], width, height)
+    for arc in graph.arcs:
+        canvas.line(arc.source.position, arc.target.position, "#888888", dash="6,4")
+    for port in graph.ports:
+        canvas.circle(port.position, 5, "#222222", label=port.name)
+    return canvas.to_svg(f"constraint graph: {graph.name}")
+
+
+def render_implementation_svg(
+    impl: ImplementationGraph, width: int = 640, height: int = 480
+) -> str:
+    """Figure 4/5-style drawing: link instances colored per link type
+    (legend included), communication nodes as orange squares."""
+    points = [v.position for v in impl.vertices]
+    canvas = _Canvas(points, width, height)
+
+    colors: Dict[str, str] = {}
+    for link in impl.library.links:
+        colors[link.name] = _PALETTE[len(colors) % len(_PALETTE)]
+
+    for arc in impl.arcs:
+        u = impl.vertex(arc.source).position
+        v = impl.vertex(arc.target).position
+        canvas.line(u, v, colors[arc.link.name], width=2.0)
+    for vertex in impl.communication_vertices:
+        canvas.square(vertex.position, 4, "#e07b00")
+    for vertex in impl.computational_vertices:
+        canvas.circle(vertex.position, 5, "#222222", label=vertex.name)
+
+    # legend, upper-left corner
+    y = 16
+    for name, color in colors.items():
+        canvas.elements.append(
+            f'<rect x="8" y="{y - 9}" width="18" height="4" fill="{color}"/>'
+            f'<text x="30" y="{y}" font-size="11" font-family="sans-serif">{html.escape(name)}</text>'
+        )
+        y += 16
+    return canvas.to_svg(f"implementation graph: {impl.name}")

@@ -1,0 +1,28 @@
+"""Baseline synthesis strategies for comparison benchmarks.
+
+- :mod:`repro.baselines.point_to_point` — the optimum point-to-point
+  implementation graph (Definition 2.6): every arc implemented alone,
+  no merging.  This is the natural "no sharing" baseline the paper's
+  cost inequality (Equation 2) is measured against.
+- :mod:`repro.baselines.greedy` — a greedy merging heuristic: accept
+  the single most-saving merge, recompute, repeat.  Shows what the
+  exact covering step buys.
+- :mod:`repro.baselines.exhaustive` — brute-force over all partitions
+  of the arc set into merge groups; ground truth for exactness tests
+  on small instances.
+- :mod:`repro.baselines.fixed_topology` — reference [2]-style design:
+  communication-node locations are *given* (hubs), only link selection
+  is optimized.  Quantifies the value of free node placement.
+"""
+
+from .exhaustive import exhaustive_synthesis
+from .fixed_topology import fixed_hub_synthesis
+from .greedy import greedy_synthesis
+from .point_to_point import point_to_point_baseline
+
+__all__ = [
+    "point_to_point_baseline",
+    "greedy_synthesis",
+    "exhaustive_synthesis",
+    "fixed_hub_synthesis",
+]

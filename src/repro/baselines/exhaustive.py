@@ -1,0 +1,110 @@
+"""Exhaustive partition-based synthesis — the exactness oracle.
+
+Enumerates every partition of the constraint-arc set into groups,
+implements each singleton group point-to-point and each larger group
+as one K-way merging (same placement/costing machinery the main
+algorithm uses), and returns the cheapest partition.  This explores
+the *full* solution space with no pruning at all, so on small
+instances it certifies that candidate generation (with its lemma
+pruning) plus the covering step lose nothing.
+
+Partition counts are Bell numbers (B(8) = 4140, B(10) = 115975), so
+keep |A| small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.candidates import Candidate
+from ..core.constraint_graph import ConstraintGraph
+from ..core.exceptions import SynthesisError
+from ..core.library import CommunicationLibrary
+from ..core.merging import build_merging_plan
+from ..core.point_to_point import best_point_to_point
+from ..core.synthesis import materialize_selection
+from .point_to_point import BaselineResult
+
+__all__ = ["partitions", "exhaustive_synthesis"]
+
+_MAX_ARCS = 9
+
+
+def partitions(items: List[str]) -> Iterator[List[Tuple[str, ...]]]:
+    """Yield every set partition of ``items`` as lists of sorted tuples.
+
+    Standard recursive construction: the first item either opens a new
+    block or joins an existing one.
+    """
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for sub in partitions(rest):
+        yield [(first,)] + sub
+        for i, block in enumerate(sub):
+            yield sub[:i] + [tuple(sorted((first,) + block))] + sub[i + 1 :]
+
+
+def exhaustive_synthesis(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    check: bool = True,
+) -> BaselineResult:
+    """The provably-optimal (within the merging structure model)
+    architecture, by full partition enumeration."""
+    arcs = [a.name for a in graph.arcs]
+    if len(arcs) > _MAX_ARCS:
+        raise SynthesisError(
+            f"exhaustive synthesis capped at {_MAX_ARCS} arcs, got {len(arcs)}"
+        )
+
+    cost_cache: Dict[Tuple[str, ...], Optional[Tuple[float, object]]] = {}
+
+    def group_plan(group: Tuple[str, ...]):
+        if group in cost_cache:
+            return cost_cache[group]
+        if len(group) == 1:
+            arc = graph.arc(group[0])
+            plan = best_point_to_point(arc.distance, arc.bandwidth, library)
+            entry: Optional[Tuple[float, object]] = (plan.cost, plan)
+        else:
+            plan = build_merging_plan(graph, group, library)
+            entry = None if plan is None else (plan.cost, plan)
+        cost_cache[group] = entry
+        return entry
+
+    best_cost = float("inf")
+    best_partition: Optional[List[Tuple[str, ...]]] = None
+    for part in partitions(arcs):
+        total = 0.0
+        feasible = True
+        for group in part:
+            entry = group_plan(group)
+            if entry is None:
+                feasible = False
+                break
+            total += entry[0]
+            if total >= best_cost:
+                feasible = False
+                break
+        if feasible and total < best_cost:
+            best_cost = total
+            best_partition = part
+
+    if best_partition is None:
+        raise SynthesisError("no feasible partition — some arc is unimplementable")
+
+    selected = [
+        Candidate(arc_names=group, cost=group_plan(group)[0], plan=group_plan(group)[1])
+        for group in best_partition
+    ]
+    impl = materialize_selection(graph, library, selected, name=f"{graph.name}-exhaustive")
+    if check:
+        from ..core.validation import validate
+
+        validate(impl, graph)
+    plans = {c.arc_names[0]: c.plan for c in selected if not c.is_merging}
+    return BaselineResult(
+        implementation=impl, plans=plans, total_cost=best_cost, strategy="exhaustive"
+    )

@@ -1,0 +1,109 @@
+"""Fixed-topology baseline in the style of reference [2].
+
+Chang, Kermani and Kershenbaum's ATM network design "assumes that the
+location of the intermediate communication nodes is fixed and the
+optimization is limited to link selection".  This baseline mirrors
+that: the caller supplies hub positions (or we derive one per module
+cluster via k-means-style splitting); every constraint arc is routed
+source → nearest-hub(source) → nearest-hub(target) → target (skipping
+degenerate zero-length hops and the hub-hop entirely when both
+endpoints share a hub and going direct when that is cheaper than the
+two-hop route is *not* considered — the topology is fixed by fiat,
+which is exactly the handicap the comparison quantifies); each hop
+gets its cheapest feasible link structure.
+
+The gap between this and the constraint-driven optimum is the value of
+*synthesizing* node locations rather than assuming them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.exceptions import SynthesisError
+from ..core.geometry import Point
+from ..core.library import CommunicationLibrary, NodeKind
+from ..core.point_to_point import best_point_to_point
+
+__all__ = ["FixedHubResult", "fixed_hub_synthesis", "kmeans_hubs"]
+
+
+@dataclass
+class FixedHubResult:
+    """Cost breakdown of the fixed-hub routing."""
+
+    hubs: List[Point]
+    total_cost: float
+    per_arc_cost: Dict[str, float]
+    strategy: str = "fixed-hub"
+
+
+def kmeans_hubs(graph: ConstraintGraph, k: int, seed: int = 0, iterations: int = 50) -> List[Point]:
+    """Lloyd's algorithm over the port positions → k hub locations."""
+    pts = np.array([[p.position.x, p.position.y] for p in graph.ports])
+    if k <= 0 or k > len(pts):
+        raise SynthesisError(f"need 1 <= k <= {len(pts)} hubs, got {k}")
+    rng = np.random.default_rng(seed)
+    centers = pts[rng.choice(len(pts), size=k, replace=False)].astype(float)
+    for _ in range(iterations):
+        d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assign = d2.argmin(axis=1)
+        moved = False
+        for j in range(k):
+            members = pts[assign == j]
+            if len(members):
+                new = members.mean(axis=0)
+                if not np.allclose(new, centers[j]):
+                    centers[j] = new
+                    moved = True
+        if not moved:
+            break
+    return [Point(float(x), float(y)) for x, y in centers]
+
+
+def fixed_hub_synthesis(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    hubs: Optional[Sequence[Point]] = None,
+    n_hubs: int = 2,
+    seed: int = 0,
+) -> FixedHubResult:
+    """Cost every arc through the fixed hub topology.
+
+    The library must offer a switch (or mux/demux pair) for the hubs to
+    instantiate; hub node costs are charged once per *used* hub.
+    """
+    hub_list = list(hubs) if hubs is not None else kmeans_hubs(graph, n_hubs, seed=seed)
+    if not hub_list:
+        raise SynthesisError("need at least one hub")
+    switch = library.cheapest_node(NodeKind.SWITCH) or library.cheapest_node(NodeKind.MUX)
+
+    def nearest(p: Point) -> Point:
+        return min(hub_list, key=lambda h: graph.norm.distance(p, h))
+
+    per_arc: Dict[str, float] = {}
+    used_hubs: set = set()
+    for arc in graph.arcs:
+        hop_points = [arc.source.position]
+        h1 = nearest(arc.source.position)
+        h2 = nearest(arc.target.position)
+        for h in (h1, h2):
+            if not hop_points[-1].is_close(h):
+                hop_points.append(h)
+                used_hubs.add((h.x, h.y))
+        if not hop_points[-1].is_close(arc.target.position):
+            hop_points.append(arc.target.position)
+        cost = 0.0
+        for a, b in zip(hop_points, hop_points[1:]):
+            d = graph.norm.distance(a, b)
+            cost += best_point_to_point(d, arc.bandwidth, library).cost
+        per_arc[arc.name] = cost
+
+    total = sum(per_arc.values())
+    if switch is not None:
+        total += switch.cost * len(used_hubs)
+    return FixedHubResult(hubs=hub_list, total_cost=total, per_arc_cost=per_arc)

@@ -1,0 +1,117 @@
+"""Greedy merging heuristic baseline.
+
+Starts from the point-to-point solution; at each step evaluates every
+*pairwise-extendable* merge of two current groups (seeded by the
+Lemma 3.1-surviving pairs) and commits the single merge with the
+largest cost saving; stops when no merge saves.  This is the obvious
+"local improvement" algorithm a practitioner might write — the
+benchmarks quantify how far it lands from the exact covering optimum
+and how often it gets stuck in the local minima the paper's Section 3
+warns about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.candidates import Candidate
+from ..core.constraint_graph import ConstraintGraph
+from ..core.library import CommunicationLibrary
+from ..core.matrices import compute_matrices
+from ..core.merging import build_merging_plan
+from ..core.point_to_point import best_point_to_point
+from ..core.pruning import subset_pruned
+from ..core.synthesis import materialize_selection
+from .point_to_point import BaselineResult
+
+__all__ = ["greedy_synthesis"]
+
+
+def _group_cost(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    group: Tuple[str, ...],
+    cache: Dict[Tuple[str, ...], Optional[float]],
+) -> Optional[float]:
+    """Cost of implementing ``group`` as one unit (p2p or merged)."""
+    key = tuple(sorted(group))
+    if key in cache:
+        return cache[key]
+    if len(key) == 1:
+        arc = graph.arc(key[0])
+        cost: Optional[float] = best_point_to_point(arc.distance, arc.bandwidth, library).cost
+    else:
+        plan = build_merging_plan(graph, key, library)
+        cost = None if plan is None else plan.cost
+    cache[key] = cost
+    return cost
+
+
+def greedy_synthesis(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    max_group: Optional[int] = None,
+    check: bool = True,
+) -> BaselineResult:
+    """Run the greedy merge-improvement heuristic.
+
+    ``max_group`` caps group sizes (None = up to |A|).  The result is
+    feasible by construction; optimality is *not* guaranteed — that is
+    the point of this baseline.
+    """
+    arcs = [a.name for a in graph.arcs]
+    matrices = compute_matrices(graph)
+    index = {name: i for i, name in enumerate(arcs)}
+    cap = max_group or len(arcs)
+
+    groups: Set[Tuple[str, ...]] = {(name,) for name in arcs}
+    cache: Dict[Tuple[str, ...], Optional[float]] = {}
+
+    while True:
+        best_saving = 0.0
+        best_pair: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None
+        for g1, g2 in itertools.combinations(sorted(groups), 2):
+            merged = tuple(sorted(g1 + g2))
+            if len(merged) > cap:
+                continue
+            if subset_pruned(matrices, [index[a] for a in merged], library):
+                continue
+            c1 = _group_cost(graph, library, g1, cache)
+            c2 = _group_cost(graph, library, g2, cache)
+            cm = _group_cost(graph, library, merged, cache)
+            if c1 is None or c2 is None or cm is None:
+                continue
+            saving = (c1 + c2) - cm
+            if saving > best_saving + 1e-12:
+                best_saving = saving
+                best_pair = (g1, g2)
+        if best_pair is None:
+            break
+        g1, g2 = best_pair
+        groups.discard(g1)
+        groups.discard(g2)
+        groups.add(tuple(sorted(g1 + g2)))
+
+    selected: List[Candidate] = []
+    total = 0.0
+    for group in sorted(groups):
+        if len(group) == 1:
+            arc = graph.arc(group[0])
+            plan = best_point_to_point(arc.distance, arc.bandwidth, library)
+        else:
+            plan = build_merging_plan(graph, group, library)
+            assert plan is not None  # cost was computed, so the plan exists
+        selected.append(Candidate(arc_names=group, cost=plan.cost, plan=plan))
+        total += plan.cost
+
+    impl = materialize_selection(graph, library, selected, name=f"{graph.name}-greedy")
+    if check:
+        from ..core.validation import validate
+
+        validate(impl, graph)
+    plans = {c.arc_names[0]: c.plan for c in selected if not c.is_merging}
+    return BaselineResult(
+        implementation=impl, plans=plans, total_cost=total, strategy="greedy-merge"
+    )

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``synthesize INSTANCE.json``
+    Run the exact synthesis on a JSON instance (written by
+    :func:`repro.io.save_instance` or by hand) and print the report.
+    ``--out`` writes a JSON result summary, ``--svg`` the architecture
+    drawing, ``--dot`` the Graphviz export.
+
+``demo {wan,mpeg4,lan,soc}``
+    Build one of the bundled domain instances; ``--save`` writes it as
+    a JSON instance file, otherwise it is synthesized and reported.
+
+``tables``
+    Print the paper's Tables 1 and 2 (the WAN example's Γ and Δ).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import PruningLevel, SynthesisOptions, compute_matrices, synthesize
+from .analysis import (
+    format_delta_table,
+    format_gamma_table,
+    render_implementation_svg,
+    synthesis_report,
+)
+from .io import (
+    implementation_to_dot,
+    load_instance,
+    save_instance,
+    synthesis_result_to_dict,
+)
+
+__all__ = ["main", "build_parser"]
+
+_DEMOS = ("wan", "mpeg4", "lan", "soc")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for --help tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constraint-driven communication synthesis (DAC 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    syn = sub.add_parser("synthesize", help="synthesize a JSON instance")
+    syn.add_argument("instance", help="instance file from repro.io.save_instance")
+    syn.add_argument("--max-arity", type=int, default=None, help="cap merge size K")
+    syn.add_argument(
+        "--pruning",
+        choices=[l.value for l in PruningLevel],
+        default=PruningLevel.LEMMAS.value,
+        help="candidate pruning level (default: lemmas)",
+    )
+    syn.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
+    syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
+    syn.add_argument("--out", help="write a JSON result summary here")
+    syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
+    syn.add_argument("--dot", help="write a Graphviz DOT export here")
+    syn.add_argument("--quiet", action="store_true", help="suppress the text report")
+
+    demo = sub.add_parser("demo", help="build/synthesize a bundled domain instance")
+    demo.add_argument("name", choices=_DEMOS)
+    demo.add_argument("--save", help="write the instance JSON here instead of synthesizing")
+    demo.add_argument("--max-arity", type=int, default=None)
+
+    sub.add_parser("tables", help="print the paper's Tables 1 and 2 (WAN Γ and Δ)")
+
+    lid = sub.add_parser(
+        "lid",
+        help="latency-insensitive analysis: classify repeaters as buffers "
+        "vs relay stations across a clock-reach sweep (paper §5 extension)",
+    )
+    lid.add_argument("instance", help="instance file (Manhattan/on-chip style)")
+    lid.add_argument(
+        "--l-clock",
+        type=float,
+        nargs="+",
+        default=[10.0, 5.0, 3.0, 2.0, 1.2],
+        help="one-cycle wire reach values to sweep (graph length units)",
+    )
+    lid.add_argument("--c-buffer", type=float, default=1.0)
+    lid.add_argument("--c-relay", type=float, default=8.0)
+    lid.add_argument("--max-arity", type=int, default=4)
+
+    sim = sub.add_parser(
+        "simulate",
+        help="synthesize an instance, then fluid-simulate the result at "
+        "one or more demand scales (dynamic bandwidth validation)",
+    )
+    sim.add_argument("instance")
+    sim.add_argument("--scale", type=float, nargs="+", default=[1.0],
+                     help="demand multipliers to probe (default: 1.0)")
+    sim.add_argument("--duration", type=float, default=100.0)
+    sim.add_argument("--max-arity", type=int, default=4)
+
+    par = sub.add_parser(
+        "pareto",
+        help="sweep a latency (hop) budget and print/plot the cost vs "
+        "worst-case-hops Pareto frontier",
+    )
+    par.add_argument("instance")
+    par.add_argument("--budgets", type=int, nargs="+", default=[0, 2, 4, 8],
+                     help="hop budgets to sweep (an unconstrained point is always added)")
+    par.add_argument("--max-arity", type=int, default=4)
+    par.add_argument("--svg", help="write the frontier chart here")
+    return parser
+
+
+def _demo_instance(name: str):
+    from .domains import lan_example, mpeg4_example, soc_example, wan_example
+    from .domains.mpeg4 import MPEG4_MAX_ARITY
+
+    builders = {
+        "wan": (wan_example, None),
+        "mpeg4": (mpeg4_example, MPEG4_MAX_ARITY),
+        "lan": (lan_example, 3),
+        "soc": (soc_example, 3),
+    }
+    builder, default_arity = builders[name]
+    graph, library = builder()
+    return graph, library, default_arity
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    graph, library = load_instance(args.instance)
+    options = SynthesisOptions(
+        pruning=PruningLevel(args.pruning),
+        max_arity=args.max_arity,
+        ucp_solver=args.solver,
+        validate_result=not args.no_validate,
+    )
+    result = synthesize(graph, library, options)
+    if not args.quiet:
+        print(synthesis_report(result, title=f"Synthesis of {args.instance}"))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(synthesis_result_to_dict(result), f, indent=2, sort_keys=True)
+        print(f"result summary written to {args.out}")
+    if args.svg:
+        with open(args.svg, "w") as f:
+            f.write(render_implementation_svg(result.implementation))
+        print(f"SVG written to {args.svg}")
+    if args.dot:
+        with open(args.dot, "w") as f:
+            f.write(implementation_to_dot(result.implementation))
+        print(f"DOT written to {args.dot}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    graph, library, default_arity = _demo_instance(args.name)
+    if args.save:
+        save_instance(args.save, graph, library)
+        print(f"instance '{args.name}' written to {args.save}")
+        return 0
+    options = SynthesisOptions(max_arity=args.max_arity or default_arity)
+    result = synthesize(graph, library, options)
+    print(synthesis_report(result, title=f"Demo: {args.name}"))
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    from .domains import wan_constraint_graph
+
+    matrices = compute_matrices(wan_constraint_graph())
+    print("Table 1 — Γ(a_i, a_j) = d(a_i) + d(a_j) [km]")
+    print(format_gamma_table(matrices))
+    print()
+    print("Table 2 — Δ(a_i, a_j) = ||p(u)-p(u')|| + ||p(v)-p(v')|| [km]")
+    print(format_delta_table(matrices))
+    return 0
+
+
+def _cmd_lid(args: argparse.Namespace) -> int:
+    from .domains.lid import classify_repeaters
+
+    graph, library = load_instance(args.instance)
+    result = synthesize(
+        graph, library, SynthesisOptions(max_arity=args.max_arity, validate_result=False)
+    )
+    print(f"synthesized {args.instance}: cost {result.total_cost:,.4g}, "
+          f"{len(result.implementation.communication_vertices)} communication nodes")
+    print()
+    print(f"{'l_clock':>9} {'buffers':>8} {'relays':>7} {'violations':>11} {'weighted cost':>14}")
+    for l_clock in args.l_clock:
+        c = classify_repeaters(result.implementation, l_clock)
+        cost = c.buffer_count * args.c_buffer + c.relay_count * args.c_relay
+        print(f"{l_clock:>9.2f} {c.buffer_count:>8} {c.relay_count:>7} "
+              f"{c.violations:>11} {cost:>14,.1f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .sim import simulate as run_fluid
+
+    graph, library = load_instance(args.instance)
+    result = synthesize(
+        graph, library, SynthesisOptions(max_arity=args.max_arity, validate_result=False)
+    )
+    print(f"synthesized {args.instance}: cost {result.total_cost:,.4g}")
+    print()
+    print(f"{'scale':>7} {'satisfied':>10} {'starved channels':>40}")
+    worst_exit = 0
+    for scale in args.scale:
+        sim = run_fluid(result.implementation, graph, duration=args.duration, demand_scale=scale)
+        starved = sim.starved_channels()
+        label = "-" if not starved else ", ".join(starved[:6]) + (
+            " ..." if len(starved) > 6 else ""
+        )
+        print(f"{scale:>7.2f} {str(sim.all_satisfied):>10} {label:>40}")
+        if scale <= 1.0 and not sim.all_satisfied:
+            worst_exit = 1  # design point must always be sustainable
+    return worst_exit
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .analysis import latency_sweep, pareto_front, render_pareto_svg
+
+    graph, library = load_instance(args.instance)
+    budgets = list(dict.fromkeys(list(args.budgets) + [None]))
+    points = latency_sweep(
+        graph, library, budgets=budgets,
+        options=SynthesisOptions(max_arity=args.max_arity),
+    )
+    front = pareto_front(points)
+    print(f"{'budget':>7} {'worst hops':>11} {'cost':>12} {'on frontier':>12}")
+    for p in points:
+        budget = "inf" if p.hop_budget is None else p.hop_budget
+        print(f"{budget:>7} {p.worst_hops:>11} {p.cost:>12,.1f} "
+              f"{'*' if p in front else '':>12}")
+    if args.svg:
+        with open(args.svg, "w") as f:
+            f.write(render_pareto_svg(points))
+        print(f"frontier chart written to {args.svg}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "synthesize": _cmd_synthesize,
+        "demo": _cmd_demo,
+        "tables": _cmd_tables,
+        "lid": _cmd_lid,
+        "simulate": _cmd_simulate,
+        "pareto": _cmd_pareto,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

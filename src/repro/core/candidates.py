@@ -1,0 +1,309 @@
+"""``GenerateCandidateArcImplementations`` — Figure 2 of the paper.
+
+Produces the set S of candidate arc implementations:
+
+1. the optimum point-to-point implementation of every constraint arc
+   (these alone form the optimum point-to-point implementation graph,
+   Definition 2.6 / Lemma 2.1);
+2. every K-way merging (K = 2 .. |A|) that survives the pruning
+   conditions of Section 3 — Lemma 3.1/3.2 on the Γ and Δ matrices and
+   Theorem 3.2 on the bandwidth vector — with Theorem 3.1 used to
+   retire an arc's Γ column as soon as it participates in no K-way
+   merging (it then participates in none of higher arity either).
+
+Each surviving merging is costed by solving its placement problem
+(:func:`repro.core.merging.build_merging_plan`).  The generation
+statistics (how many subsets were enumerated, pruned by which rule,
+survived at each K) are recorded for the paper's Figure 4 counts and
+for the pruning-ablation benchmark.
+
+Pruning levels (the ablation axis):
+
+- ``NONE`` — enumerate every subset (exponential; small graphs only);
+- ``LEMMAS`` — the paper's sound pruning (default, exact);
+- ``APRIORI`` — additionally require every (K-1)-subset of a candidate
+  to have survived level K-1.  This is a *heuristic* strengthening (the
+  paper does not prove it sound); it is exposed for the ablation bench
+  and off by default.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from .constraint_graph import ConstraintGraph
+from .exceptions import InfeasibleError
+from .library import CommunicationLibrary
+from .matrices import ArcMatrices, compute_matrices
+from .merging import MergingPlan, build_merging_plan
+from .mixed_segmentation import MixedChainPlan, best_mixed_segmentation
+from .point_to_point import PointToPointPlan, best_point_to_point
+from .pruning import lemma_3_2_not_mergeable, subset_pruned, theorem_3_2_not_mergeable
+
+__all__ = [
+    "PruningLevel",
+    "Candidate",
+    "GenerationStats",
+    "CandidateSet",
+    "generate_candidates",
+]
+
+
+class PruningLevel(Enum):
+    """How aggressively candidate enumeration prunes merge subsets."""
+
+    NONE = "none"
+    LEMMAS = "lemmas"
+    APRIORI = "apriori"
+
+
+#: hard ceiling on enumerated merge subsets — a deliberate loud failure
+#: instead of an open-ended hang on highly-mergeable large instances.
+MAX_ENUMERATED_SUBSETS = 2_000_000
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One column of the eventual covering matrix.
+
+    ``arc_names`` is the set of constraint arcs this candidate
+    implements; ``cost`` the column weight; ``plan`` either a
+    :class:`PointToPointPlan` (single arc) or a :class:`MergingPlan`.
+    """
+
+    arc_names: Tuple[str, ...]
+    cost: float
+    plan: Union[PointToPointPlan, MergingPlan, MixedChainPlan]
+
+    @property
+    def is_merging(self) -> bool:
+        """True when the candidate is a K-way merging (K >= 2)."""
+        return isinstance(self.plan, MergingPlan)
+
+    @property
+    def is_mixed_chain(self) -> bool:
+        """True when the candidate is a heterogeneous segmentation."""
+        return isinstance(self.plan, MixedChainPlan)
+
+    @property
+    def k(self) -> int:
+        """Number of constraint arcs covered."""
+        return len(self.arc_names)
+
+    def label(self) -> str:
+        """Compact human-readable identifier for reports."""
+        joined = "+".join(self.arc_names)
+        return f"{'merge' if self.is_merging else 'p2p'}({joined})"
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping of one candidate-generation run."""
+
+    subsets_enumerated: int = 0
+    pruned_geometric: int = 0
+    pruned_bandwidth: int = 0
+    pruned_apriori: int = 0
+    pruned_hops: int = 0
+    infeasible_plans: int = 0
+    #: surviving merge-subset count per arity K (the paper's Fig. 4 text
+    #: reports 13 / 21 / 16 / 5 for K = 2..5 on the WAN example).
+    survivors_by_k: Dict[int, int] = field(default_factory=dict)
+    #: arcs retired (Theorem 3.1) keyed by the arity at which they fell out.
+    retired_at_k: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_mergings(self) -> int:
+        """Total surviving merge candidates across all arities."""
+        return sum(self.survivors_by_k.values())
+
+
+@dataclass
+class CandidateSet:
+    """The set S plus the statistics of its generation."""
+
+    point_to_point: List[Candidate]
+    mergings: List[Candidate]
+    stats: GenerationStats
+
+    @property
+    def all(self) -> List[Candidate]:
+        """Every candidate (point-to-point first, then mergings)."""
+        return self.point_to_point + self.mergings
+
+    def mergings_of_arity(self, k: int) -> List[Candidate]:
+        """The surviving K-way merging candidates."""
+        return [c for c in self.mergings if c.k == k]
+
+
+def generate_candidates(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    pruning: PruningLevel = PruningLevel.LEMMAS,
+    max_arity: Optional[int] = None,
+    drop_dominated: bool = False,
+    heterogeneous: bool = False,
+    max_merge_hops: Optional[int] = None,
+    polish_placement: bool = True,
+    hop_penalty: float = 0.0,
+) -> CandidateSet:
+    """Run Figure 2's candidate generation on ``graph`` over ``library``.
+
+    ``max_arity`` caps K (None = up to |A|).  ``drop_dominated`` removes
+    merging candidates costing at least the sum of their members'
+    point-to-point costs — sound for optimality (the singletons are
+    always available) and useful to shrink the covering instance, but
+    off by default so reported candidate counts match the paper's.
+    ``heterogeneous`` additionally evaluates mixed-link-type chains
+    (:mod:`repro.core.mixed_segmentation`) for each arc's singleton
+    candidate and keeps the cheaper plan.  ``max_merge_hops`` drops
+    merging candidates whose worst path would traverse more than that
+    many communication vertices (a latency constraint; singletons are
+    never dropped, so feasibility is preserved).  ``hop_penalty`` adds
+    ``penalty × worst-path hops`` to every candidate's covering weight —
+    a *weighted multi-objective* alternative to the hard hop budget:
+    sweeping it traces the same cost/latency frontier in single runs.
+    Note the resulting ``Candidate.cost`` (and the synthesis
+    ``total_cost``) is then the *penalized* objective; the monetary
+    cost of the final architecture is ``implementation.cost()``.
+
+    Raises :class:`InfeasibleError` if some arc has no point-to-point
+    implementation at all (then no implementation graph exists either).
+    """
+    stats = GenerationStats()
+    arcs = graph.arcs
+    n = len(arcs)
+
+    p2p_candidates: List[Candidate] = []
+    p2p_cost: Dict[str, float] = {}
+    for arc in arcs:
+        plan: Union[PointToPointPlan, MixedChainPlan]
+        plan = best_point_to_point(arc.distance, arc.bandwidth, library)
+        if heterogeneous:
+            try:
+                mixed = best_mixed_segmentation(arc.distance, arc.bandwidth, library)
+                if mixed.cost < plan.cost - 1e-12:
+                    plan = mixed
+            except InfeasibleError:
+                pass  # e.g. bandwidth needs duplication — keep the homogeneous plan
+        p2p_cost[arc.name] = plan.cost
+        p2p_candidates.append(Candidate(arc_names=(arc.name,), cost=plan.cost, plan=plan))
+
+    mergings: List[Candidate] = []
+    if n >= 2:
+        matrices = compute_matrices(graph)
+        mergings = _enumerate_mergings(
+            graph, library, matrices, pruning, max_arity, stats, polish_placement
+        )
+
+    if max_merge_hops is not None:
+        before = len(mergings)
+        mergings = [c for c in mergings if c.plan.max_hops <= max_merge_hops]
+        stats.pruned_hops = before - len(mergings)
+
+    if hop_penalty:
+        if hop_penalty < 0:
+            raise ValueError(f"hop_penalty must be nonnegative, got {hop_penalty}")
+        p2p_candidates = [
+            Candidate(
+                arc_names=c.arc_names,
+                cost=c.cost + hop_penalty * getattr(c.plan, "max_hops", 0),
+                plan=c.plan,
+            )
+            for c in p2p_candidates
+        ]
+        mergings = [
+            Candidate(
+                arc_names=c.arc_names,
+                cost=c.cost + hop_penalty * c.plan.max_hops,
+                plan=c.plan,
+            )
+            for c in mergings
+        ]
+        p2p_cost = {c.arc_names[0]: c.cost for c in p2p_candidates}
+
+    if drop_dominated:
+        mergings = [
+            c
+            for c in mergings
+            if c.cost < sum(p2p_cost[a] for a in c.arc_names) - 1e-12
+        ]
+
+    return CandidateSet(point_to_point=p2p_candidates, mergings=mergings, stats=stats)
+
+
+def _enumerate_mergings(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    matrices: ArcMatrices,
+    pruning: PruningLevel,
+    max_arity: Optional[int],
+    stats: GenerationStats,
+    polish_placement: bool = True,
+) -> List[Candidate]:
+    """The main loop of Figure 2: increasing K, shrinking active set."""
+    n = matrices.size
+    names = matrices.arc_names
+    active: List[int] = list(range(n))
+    top = n if max_arity is None else min(max_arity, n)
+    max_bw = library.max_link_bandwidth()
+
+    candidates: List[Candidate] = []
+    prev_survivors: Set[FrozenSet[int]] = set()
+
+    for k in range(2, top + 1):
+        if len(active) < k:
+            break
+        survivors_k: List[Tuple[int, ...]] = []
+        for subset in itertools.combinations(active, k):
+            stats.subsets_enumerated += 1
+            if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
+                raise InfeasibleError(
+                    f"candidate enumeration exceeded {MAX_ENUMERATED_SUBSETS} subsets "
+                    f"at arity {k} with {len(active)} mergeable arcs — set "
+                    f"max_arity to bound the search (the result stays exact "
+                    f"within that arity)"
+                )
+            if pruning is PruningLevel.APRIORI and k > 2:
+                fs = frozenset(subset)
+                if any(fs - {i} not in prev_survivors for i in fs):
+                    stats.pruned_apriori += 1
+                    continue
+            if pruning is not PruningLevel.NONE:
+                if lemma_3_2_not_mergeable(matrices, subset):
+                    stats.pruned_geometric += 1
+                    continue
+                bandwidths = [float(matrices.bandwidth[i]) for i in subset]
+                if theorem_3_2_not_mergeable(bandwidths, max_bw):
+                    stats.pruned_bandwidth += 1
+                    continue
+            survivors_k.append(subset)
+
+        stats.survivors_by_k[k] = len(survivors_k)
+        if not survivors_k:
+            break
+
+        for subset in survivors_k:
+            plan = build_merging_plan(
+                graph, [names[i] for i in subset], library,
+                polish_placement=polish_placement,
+            )
+            if plan is None:
+                stats.infeasible_plans += 1
+                continue
+            candidates.append(
+                Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan)
+            )
+
+        # Theorem 3.1: arcs in no K-way merging leave the Γ matrix.
+        in_some = {i for subset in survivors_k for i in subset}
+        for i in list(active):
+            if i not in in_some:
+                stats.retired_at_k[names[i]] = k
+                active.remove(i)
+        prev_survivors = {frozenset(s) for s in survivors_k}
+
+    return candidates

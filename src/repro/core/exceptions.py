@@ -1,0 +1,53 @@
+"""Exception hierarchy for the communication-synthesis library.
+
+Every error deliberately raised by this package derives from
+:class:`SynthesisError`, so callers can catch the whole family with one
+``except`` clause while still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SynthesisError",
+    "ModelError",
+    "LibraryError",
+    "AssumptionViolation",
+    "InfeasibleError",
+    "ValidationError",
+    "CoveringError",
+]
+
+
+class SynthesisError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(SynthesisError):
+    """An input model (constraint graph, ports, arcs) is malformed —
+    e.g. an arc length inconsistent with its endpoint positions."""
+
+
+class LibraryError(SynthesisError):
+    """A communication library is malformed (negative costs, empty,
+    links with nonpositive bandwidth, ...)."""
+
+
+class AssumptionViolation(SynthesisError):
+    """Assumption 2.1 of the paper does not hold for the given library
+    and constraint graph, so the exact algorithm's pruning lemmas are
+    not guaranteed sound."""
+
+
+class InfeasibleError(SynthesisError):
+    """No implementation exists — the library cannot realize some arc
+    (e.g. every link's bandwidth is below the constraint and duplication
+    is disabled)."""
+
+
+class ValidationError(SynthesisError):
+    """An implementation graph fails the Definition 2.4 checks."""
+
+
+class CoveringError(SynthesisError):
+    """A covering-problem instance is malformed or unsolvable (a row
+    with no covering column)."""

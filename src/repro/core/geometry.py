@@ -1,0 +1,224 @@
+"""Geometric primitives for constraint and implementation graphs.
+
+The paper (Definition 2.1) leaves the embedding space and the distance
+function abstract: positions may live on the plane or in space, and the
+arc length must merely be *consistent* with the vertex positions under
+some geometric norm ``||p(u) - p(v)||``.  This module provides:
+
+- :class:`Point` — an immutable position in R^n;
+- :class:`Norm` — the distance-function protocol;
+- concrete norms: :class:`EuclideanNorm`, :class:`ManhattanNorm`,
+  :class:`ChebyshevNorm` and the general :class:`MinkowskiNorm`;
+- small helpers (midpoints, bounding boxes, centroids) used by the
+  placement optimizer and the workload generators.
+
+Distances are plain ``float`` in whatever unit the application uses
+(kilometers for the WAN example, millimeters for the on-chip example);
+unit bookkeeping lives in :mod:`repro.core.units`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "Point",
+    "Norm",
+    "EuclideanNorm",
+    "ManhattanNorm",
+    "ChebyshevNorm",
+    "MinkowskiNorm",
+    "EUCLIDEAN",
+    "MANHATTAN",
+    "CHEBYSHEV",
+    "norm_by_name",
+    "midpoint",
+    "centroid",
+    "bounding_box",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable position in the plane (or, degenerately, on a line).
+
+    The paper's examples are planar (chip floorplans, WAN maps), so the
+    canonical representation is 2-D; a 1-D position can use ``y=0``.
+
+    Supports vector arithmetic so that placement code reads naturally::
+
+        >>> Point(1, 2) + Point(3, 4)
+        Point(x=4.0, y=6.0)
+        >>> Point(2, 2) * 0.5
+        Point(x=1.0, y=1.0)
+    """
+
+    x: float
+    y: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", float(self.x))
+        object.__setattr__(self, "y", float(self.y))
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"Point coordinates must be finite, got ({self.x}, {self.y})")
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def dot(self, other: "Point") -> float:
+        """Euclidean inner product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def length(self) -> float:
+        """Euclidean length of this point seen as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def is_close(self, other: "Point", tol: float = 1e-9) -> bool:
+        """True when both coordinates match ``other`` within ``tol``."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+
+class Norm:
+    """Protocol for geometric norms (Definition 2.1's ``||.||``).
+
+    A norm maps a pair of points to a nonnegative distance.  Concrete
+    norms are singletons exposed as :data:`EUCLIDEAN`, :data:`MANHATTAN`
+    and :data:`CHEBYSHEV`; a custom norm only needs ``distance``.
+    """
+
+    #: short machine-readable identifier, used by serialization.
+    name: str = "abstract"
+
+    def distance(self, a: Point, b: Point) -> float:
+        """Distance between ``a`` and ``b``; must satisfy the norm axioms."""
+        raise NotImplementedError
+
+    def __call__(self, a: Point, b: Point) -> float:
+        return self.distance(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"
+
+
+class EuclideanNorm(Norm):
+    """The L2 norm — the paper's WAN/LAN examples ("Euclidean distance")."""
+
+    name = "euclidean"
+
+    def distance(self, a: Point, b: Point) -> float:
+        return math.hypot(a.x - b.x, a.y - b.y)
+
+
+class ManhattanNorm(Norm):
+    """The L1 norm — the paper's System-on-Chip distance
+    ``|x_u - x_v| + |y_u - y_v|``."""
+
+    name = "manhattan"
+
+    def distance(self, a: Point, b: Point) -> float:
+        return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+class ChebyshevNorm(Norm):
+    """The L-infinity norm, useful for diagonal-routing fabrics."""
+
+    name = "chebyshev"
+
+    def distance(self, a: Point, b: Point) -> float:
+        return max(abs(a.x - b.x), abs(a.y - b.y))
+
+
+class MinkowskiNorm(Norm):
+    """The general L^p norm for ``p >= 1``."""
+
+    def __init__(self, p: float) -> None:
+        if p < 1:
+            raise ValueError(f"Minkowski norms require p >= 1, got {p}")
+        self.p = float(p)
+        self.name = f"minkowski({self.p:g})"
+
+    def distance(self, a: Point, b: Point) -> float:
+        dx = abs(a.x - b.x)
+        dy = abs(a.y - b.y)
+        if dx == 0.0:
+            return dy
+        if dy == 0.0:
+            return dx
+        return (dx**self.p + dy**self.p) ** (1.0 / self.p)
+
+
+#: Shared singleton instances; norms are stateless so sharing is safe.
+EUCLIDEAN = EuclideanNorm()
+MANHATTAN = ManhattanNorm()
+CHEBYSHEV = ChebyshevNorm()
+
+_NORMS_BY_NAME = {
+    EUCLIDEAN.name: EUCLIDEAN,
+    MANHATTAN.name: MANHATTAN,
+    CHEBYSHEV.name: CHEBYSHEV,
+}
+
+
+def norm_by_name(name: str) -> Norm:
+    """Look up one of the built-in norms by its ``name`` attribute.
+
+    Raises ``KeyError`` with the list of known names on a miss, which is
+    the failure mode deserialization code wants.
+    """
+    try:
+        return _NORMS_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_NORMS_BY_NAME))
+        raise KeyError(f"unknown norm {name!r}; known norms: {known}") from None
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The point halfway between ``a`` and ``b`` (Euclidean midpoint)."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a nonempty sequence of points."""
+    if not points:
+        raise ValueError("centroid of an empty point set is undefined")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    n = len(points)
+    return Point(sx / n, sy / n)
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Axis-aligned bounding box as ``(lower_left, upper_right)``.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("bounding box of an empty point set is undefined")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

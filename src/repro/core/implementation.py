@@ -1,0 +1,451 @@
+"""Implementation graphs (Definitions 2.3 – 2.5) and their structure.
+
+An :class:`ImplementationGraph` ``G' = (V' ∪ N', A')`` realizes a
+constraint graph with library components:
+
+- every *computational vertex* in ``V'`` mirrors a port of the
+  constraint graph (the bijection χ of Definition 2.4) — same name,
+  same position;
+- every *communication vertex* in ``N'`` instantiates a library node
+  (the surjection ψ) — a repeater, mux, demux or switch placed at some
+  position chosen by the synthesis;
+- every arc in ``A'`` instantiates a library link (the surjection φ)
+  and records the length it actually spans and the bandwidth reserved
+  on it;
+- for every constraint arc ``a`` the graph stores its *arc
+  implementation* ``P(a)``: the set of paths that jointly carry
+  ``b(a)`` from χ(u) to χ(v).
+
+The module also provides :class:`Path` with the three path properties
+of Definition 2.3 (length, bandwidth, cost) and
+:func:`classify_arc_implementation`, which names the structure of a
+``P(a)`` per Definition 2.7 (matching / K-way segmentation / K-way
+duplication / general).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .constraint_graph import Arc, ConstraintGraph, Port
+from .exceptions import ModelError, ValidationError
+from .geometry import Norm, Point
+from .library import CommunicationLibrary, Link, NodeKind, NodeSpec
+
+__all__ = [
+    "ImplVertex",
+    "ImplArc",
+    "Path",
+    "ImplementationGraph",
+    "ArcImplementationKind",
+    "classify_arc_implementation",
+    "shared_arc_groups",
+]
+
+
+@dataclass(frozen=True)
+class ImplVertex:
+    """A vertex of the implementation graph.
+
+    Exactly one of ``port`` (computational vertex, element of V') and
+    ``node`` (communication vertex, element of N') is set.
+    """
+
+    name: str
+    position: Point
+    port: Optional[Port] = None
+    node: Optional[NodeSpec] = None
+
+    def __post_init__(self) -> None:
+        if (self.port is None) == (self.node is None):
+            raise ModelError(
+                f"vertex {self.name!r} must be either computational (port set) "
+                f"or communication (node set), exclusively"
+            )
+
+    @property
+    def is_computational(self) -> bool:
+        """True for elements of V' (mirrors of constraint-graph ports)."""
+        return self.port is not None
+
+    @property
+    def is_communication(self) -> bool:
+        """True for elements of N' (instances of library nodes)."""
+        return self.node is not None
+
+    @property
+    def cost(self) -> float:
+        """c(n') = c(ψ(n')) for communication vertices, 0 for
+        computational ones (footnote 1 of the paper)."""
+        return self.node.cost if self.node is not None else 0.0
+
+
+@dataclass(frozen=True)
+class ImplArc:
+    """An arc of the implementation graph: one placed instance of a
+    library link.
+
+    ``length`` is the span this instance actually covers (must satisfy
+    ``length <= d(link)``); ``bandwidth`` is the traffic reserved on the
+    instance by the synthesis (must satisfy ``bandwidth <= b(link)``).
+    ``cost`` follows the link's affine cost model for this length.
+    """
+
+    name: str
+    source: str
+    target: str
+    link: Link
+    length: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ModelError(f"implementation arc {self.name!r} is a self-loop")
+        if not self.link.can_span(self.length):
+            raise ModelError(
+                f"implementation arc {self.name!r}: length {self.length} exceeds "
+                f"link {self.link.name!r} max_length {self.link.max_length}"
+            )
+        if self.bandwidth < 0:
+            raise ModelError(f"implementation arc {self.name!r}: negative bandwidth")
+        if not self.link.can_carry(self.bandwidth):
+            raise ModelError(
+                f"implementation arc {self.name!r}: reserved bandwidth {self.bandwidth} "
+                f"exceeds link {self.link.name!r} bandwidth {self.link.bandwidth}"
+            )
+
+    @property
+    def cost(self) -> float:
+        """c(a') = c(φ(a')) instantiated at this arc's span."""
+        return self.link.cost_of(self.length)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path ``q`` in an implementation graph (Definition 2.3).
+
+    Stored as the ordered tuple of implementation-arc names; the parent
+    graph resolves names to :class:`ImplArc` objects to compute the
+    three path properties.
+    """
+
+    arc_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.arc_names:
+            raise ModelError("a path must contain at least one arc")
+        if len(set(self.arc_names)) != len(self.arc_names):
+            raise ModelError(f"path repeats an arc: {self.arc_names}")
+
+    def __len__(self) -> int:
+        return len(self.arc_names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.arc_names)
+
+
+class ArcImplementationKind(Enum):
+    """Structural classification of an arc implementation
+    (Definition 2.7 plus the general mixed case)."""
+
+    MATCHING = "matching"
+    SEGMENTATION = "segmentation"
+    DUPLICATION = "duplication"
+    GENERAL = "general"
+
+
+class ImplementationGraph:
+    """A concrete communication architecture built from library parts.
+
+    Construction is incremental: the synthesis adds computational
+    vertices (with :meth:`add_computational_vertex`), communication
+    vertices, link instances, and finally registers each constraint
+    arc's path set with :meth:`set_arc_implementation`.  The class
+    enforces the local well-formedness rules of Definition 2.4 at each
+    step; whole-graph validation lives in
+    :mod:`repro.core.validation`.
+    """
+
+    def __init__(self, library: CommunicationLibrary, norm: Norm, name: str = "implementation") -> None:
+        self.library = library
+        self.norm = norm
+        self.name = name
+        self._vertices: Dict[str, ImplVertex] = {}
+        self._arcs: Dict[str, ImplArc] = {}
+        #: constraint-arc name -> list of paths (the sets P(a))
+        self._arc_impls: Dict[str, List[Path]] = {}
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_computational_vertex(self, port: Port) -> ImplVertex:
+        """Mirror a constraint-graph port into V' (the χ mapping).
+
+        Idempotent for the same port; conflicting redefinitions raise.
+        """
+        vertex = ImplVertex(name=port.name, position=port.position, port=port)
+        return self._register_vertex(vertex)
+
+    def add_communication_vertex(self, node: NodeSpec, position: Point, name: Optional[str] = None) -> ImplVertex:
+        """Place an instance of a library node at ``position`` (element
+        of N', the ψ mapping).  A fresh name is generated when none is
+        given."""
+        if node.name not in {n.name for n in self.library.nodes}:
+            raise ModelError(
+                f"node spec {node.name!r} is not part of library {self.library.name!r}"
+            )
+        if name is None:
+            name = f"{node.name}#{next(self._counter)}"
+        vertex = ImplVertex(name=name, position=position, node=node)
+        return self._register_vertex(vertex)
+
+    def _register_vertex(self, vertex: ImplVertex) -> ImplVertex:
+        existing = self._vertices.get(vertex.name)
+        if existing is not None:
+            if existing != vertex:
+                raise ModelError(f"vertex {vertex.name!r} already exists with different data")
+            return existing
+        self._vertices[vertex.name] = vertex
+        return vertex
+
+    def add_link_instance(
+        self,
+        link: Link,
+        source: str,
+        target: str,
+        bandwidth: float,
+        name: Optional[str] = None,
+    ) -> ImplArc:
+        """Instantiate ``link`` between two existing vertices.
+
+        The span is computed from the vertex positions under the graph
+        norm; Definition 2.4's property-sharing (d, b, c tied to the
+        library link) is enforced by :class:`ImplArc`.
+        """
+        if link.name not in {l.name for l in self.library.links}:
+            raise ModelError(f"link {link.name!r} is not part of library {self.library.name!r}")
+        u = self._require_vertex(source)
+        v = self._require_vertex(target)
+        length = self.norm.distance(u.position, v.position)
+        if name is None:
+            name = f"{link.name}#{next(self._counter)}"
+        arc = ImplArc(name=name, source=source, target=target, link=link, length=length, bandwidth=bandwidth)
+        if name in self._arcs:
+            raise ModelError(f"duplicate implementation arc name {name!r}")
+        self._arcs[name] = arc
+        return arc
+
+    def set_arc_implementation(self, constraint_arc_name: str, paths: Sequence[Path]) -> None:
+        """Register the path set P(a) for a constraint arc.
+
+        Each path must reference known implementation arcs and be
+        vertex-contiguous; deeper semantic checks (endpoints, bandwidth
+        sums, no intermediate computational vertices) are performed by
+        the validator.
+        """
+        if not paths:
+            raise ModelError(f"arc {constraint_arc_name!r}: empty path set")
+        for path in paths:
+            self._check_contiguous(path)
+        self._arc_impls[constraint_arc_name] = list(paths)
+
+    def _check_contiguous(self, path: Path) -> None:
+        prev_target: Optional[str] = None
+        for arc_name in path:
+            arc = self._require_arc(arc_name)
+            if prev_target is not None and arc.source != prev_target:
+                raise ModelError(
+                    f"path {path.arc_names}: arc {arc_name!r} starts at {arc.source!r} "
+                    f"but previous arc ended at {prev_target!r}"
+                )
+            prev_target = arc.target
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _require_vertex(self, name: str) -> ImplVertex:
+        try:
+            return self._vertices[name]
+        except KeyError:
+            raise ModelError(f"unknown implementation vertex {name!r}") from None
+
+    def _require_arc(self, name: str) -> ImplArc:
+        try:
+            return self._arcs[name]
+        except KeyError:
+            raise ModelError(f"unknown implementation arc {name!r}") from None
+
+    @property
+    def vertices(self) -> List[ImplVertex]:
+        """All vertices (computational and communication)."""
+        return list(self._vertices.values())
+
+    @property
+    def computational_vertices(self) -> List[ImplVertex]:
+        """The elements of V'."""
+        return [v for v in self._vertices.values() if v.is_computational]
+
+    @property
+    def communication_vertices(self) -> List[ImplVertex]:
+        """The elements of N'."""
+        return [v for v in self._vertices.values() if v.is_communication]
+
+    @property
+    def arcs(self) -> List[ImplArc]:
+        """All link instances (the elements of A')."""
+        return list(self._arcs.values())
+
+    def vertex(self, name: str) -> ImplVertex:
+        """Vertex lookup by name."""
+        return self._require_vertex(name)
+
+    def impl_arc(self, name: str) -> ImplArc:
+        """Implementation-arc lookup by name."""
+        return self._require_arc(name)
+
+    def arc_implementation(self, constraint_arc_name: str) -> List[Path]:
+        """The registered path set P(a) of a constraint arc."""
+        try:
+            return list(self._arc_impls[constraint_arc_name])
+        except KeyError:
+            raise ModelError(
+                f"no arc implementation registered for {constraint_arc_name!r}"
+            ) from None
+
+    @property
+    def implemented_arcs(self) -> List[str]:
+        """Names of constraint arcs with a registered implementation."""
+        return list(self._arc_impls.keys())
+
+    # ------------------------------------------------------------------
+    # path properties (Definition 2.3)
+    # ------------------------------------------------------------------
+    def path_length(self, path: Path) -> float:
+        """d(q) = Σ d(a_i) over the path's arcs."""
+        return sum(self._require_arc(n).length for n in path)
+
+    def path_bandwidth(self, path: Path) -> float:
+        """b(q) = min b(a_i): the narrowest link bounds the path."""
+        return min(self._require_arc(n).link.bandwidth for n in path)
+
+    def path_cost(self, path: Path) -> float:
+        """c(q) = Σ c(a_i) (link costs only; node costs are counted
+        once per vertex in the graph cost)."""
+        return sum(self._require_arc(n).cost for n in path)
+
+    def path_vertices(self, path: Path) -> List[str]:
+        """The ordered vertex names touched by the path, V(q, G)."""
+        names = [self._require_arc(path.arc_names[0]).source]
+        for arc_name in path:
+            names.append(self._require_arc(arc_name).target)
+        return names
+
+    # ------------------------------------------------------------------
+    # costs (Definition 2.5)
+    # ------------------------------------------------------------------
+    def node_cost(self) -> float:
+        """Σ_{n' in N'} c(n')."""
+        return sum(v.cost for v in self._vertices.values())
+
+    def link_cost(self) -> float:
+        """Σ_{a' in A'} c(a')."""
+        return sum(a.cost for a in self._arcs.values())
+
+    def cost(self) -> float:
+        """C(G') = Σ c(n') + Σ c(a')  (Equation 1)."""
+        return self.node_cost() + self.link_cost()
+
+    def arc_implementation_cost(self, constraint_arc_name: str) -> float:
+        """C(P(a)) = Σ_{q in P(a)} c(q) — the per-arc cost used by
+        Lemma 2.1 and Equation 2.  Shared links are counted once."""
+        seen: Set[str] = set()
+        total = 0.0
+        for path in self.arc_implementation(constraint_arc_name):
+            for arc_name in path:
+                if arc_name not in seen:
+                    seen.add(arc_name)
+                    total += self._require_arc(arc_name).cost
+        return total
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiDiGraph` (fresh copy)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph(name=self.name)
+        for v in self._vertices.values():
+            g.add_node(v.name, vertex=v)
+        for a in self._arcs.values():
+            g.add_edge(a.source, a.target, key=a.name, arc=a)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ImplementationGraph(name={self.name!r}, vertices={len(self._vertices)}, "
+            f"arcs={len(self._arcs)}, cost={self.cost():.6g})"
+        )
+
+
+def shared_arc_groups(graph: ImplementationGraph) -> List[List[str]]:
+    """Groups of constraint arcs whose implementations share link
+    instances — i.e. the realized K-way mergings (Definition 2.8's
+    common paths), computed structurally from the graph.
+
+    Returns the connected components (size >= 2) of the "shares an
+    implementation arc" relation, each sorted by arc name.
+    """
+    users: Dict[str, Set[str]] = {}
+    for arc_name in graph.implemented_arcs:
+        for path in graph.arc_implementation(arc_name):
+            for impl_arc in path:
+                users.setdefault(impl_arc, set()).add(arc_name)
+
+    # union-find over constraint arcs
+    parent: Dict[str, str] = {a: a for a in graph.implemented_arcs}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for sharers in users.values():
+        sharers = sorted(sharers)
+        for other in sharers[1:]:
+            union(sharers[0], other)
+
+    groups: Dict[str, List[str]] = {}
+    for arc_name in graph.implemented_arcs:
+        groups.setdefault(find(arc_name), []).append(arc_name)
+    return sorted(
+        [sorted(g) for g in groups.values() if len(g) >= 2],
+        key=lambda g: g[0],
+    )
+
+
+def classify_arc_implementation(graph: ImplementationGraph, constraint_arc_name: str) -> ArcImplementationKind:
+    """Name the structure of P(a) per Definition 2.7.
+
+    - one path of one link → *arc matching*;
+    - one path of K links through K-1 communication vertices →
+      *K-way segmentation*;
+    - K single-link parallel paths → *K-way duplication*;
+    - anything else (e.g. parallel segmented branches, shared trunks) →
+      *general*.
+    """
+    paths = graph.arc_implementation(constraint_arc_name)
+    if len(paths) == 1:
+        if len(paths[0]) == 1:
+            return ArcImplementationKind.MATCHING
+        return ArcImplementationKind.SEGMENTATION
+    if all(len(p) == 1 for p in paths):
+        return ArcImplementationKind.DUPLICATION
+    return ArcImplementationKind.GENERAL

@@ -1,0 +1,216 @@
+"""Incremental re-synthesis (ECO-style updates).
+
+Real design flows change constraint graphs in small steps — a channel's
+bandwidth is re-budgeted, a module moves, a channel is added or
+dropped — and re-running the full candidate generation wastes the work
+that did not change.  The key structural fact making increments cheap:
+**a candidate's cost depends only on the arcs in its own group** (their
+endpoints, distances and bandwidths) and on the library.  Therefore:
+
+- removing an arc invalidates exactly the candidates containing it;
+- adding an arc keeps every existing candidate and adds new ones: its
+  point-to-point singleton plus mergings that pair it with *surviving
+  mergeable* subsets (pruned with the same lemmas);
+- changing an arc's bandwidth (same endpoints) re-costs only the
+  candidates containing it (geometry, hence Γ/Δ and the geometric
+  pruning, is untouched; the bandwidth lemma is re-checked).
+
+The covering step is then re-solved from scratch — it is the cheap part
+at these scales, and exactness is preserved trivially because the final
+candidate set equals what full generation would produce (asserted by
+the tests on every mutation).
+
+Limitations: moving a *port* changes geometry and falls back to full
+regeneration (`refresh`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .candidates import Candidate, CandidateSet, GenerationStats, PruningLevel, generate_candidates
+from .constraint_graph import Arc, ConstraintGraph
+from .library import CommunicationLibrary
+from .matrices import compute_matrices
+from .merging import build_merging_plan
+from .point_to_point import best_point_to_point
+from .pruning import subset_pruned
+from .synthesis import SynthesisOptions, SynthesisResult, build_covering_problem, materialize_selection
+from ..covering.bnb import solve_cover
+
+__all__ = ["IncrementalSynthesizer"]
+
+
+class IncrementalSynthesizer:
+    """Keeps a candidate set in sync with an evolving constraint graph.
+
+    Usage::
+
+        inc = IncrementalSynthesizer(graph, library)
+        result = inc.solve()
+        inc.remove_arc("a3")
+        inc.add_arc("a9", "B", "D", bandwidth=10e6)
+        inc.change_bandwidth("a1", 20e6)
+        result = inc.solve()          # reuses untouched candidates
+
+    The wrapped graph is rebuilt internally on mutations (constraint
+    graphs are append-only by design), but candidate plans are reused
+    whenever their group is untouched.
+    """
+
+    def __init__(
+        self,
+        graph: ConstraintGraph,
+        library: CommunicationLibrary,
+        options: Optional[SynthesisOptions] = None,
+    ) -> None:
+        self.library = library
+        self.options = options or SynthesisOptions()
+        self._graph = graph
+        self._candidates: Optional[CandidateSet] = None
+        #: statistics: how many candidates were reused vs rebuilt by the
+        #: last mutation batch.
+        self.reused = 0
+        self.rebuilt = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> ConstraintGraph:
+        """The current constraint graph."""
+        return self._graph
+
+    def _ensure_candidates(self) -> CandidateSet:
+        if self._candidates is None:
+            self._candidates = generate_candidates(
+                self._graph,
+                self.library,
+                pruning=self.options.pruning,
+                max_arity=self.options.max_arity,
+                heterogeneous=self.options.heterogeneous,
+                max_merge_hops=self.options.max_merge_hops,
+            )
+            self.rebuilt += len(self._candidates.all)
+        return self._candidates
+
+    def refresh(self) -> None:
+        """Discard all cached candidates (full regeneration on next solve)."""
+        self._candidates = None
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def _rebuild_graph(self, arcs: Sequence[Arc]) -> ConstraintGraph:
+        g = ConstraintGraph(norm=self._graph.norm, name=self._graph.name)
+        for port in self._graph.ports:
+            g.add_port(port.name, port.position, port.module)
+        for arc in arcs:
+            g.add_arc(arc)
+        return g
+
+    def remove_arc(self, arc_name: str) -> None:
+        """Drop a channel; candidates not touching it survive."""
+        old = self._ensure_candidates()
+        kept_arcs = [a for a in self._graph.arcs if a.name != arc_name]
+        if len(kept_arcs) == len(self._graph.arcs):
+            raise KeyError(f"no arc named {arc_name!r}")
+        self._graph = self._rebuild_graph(kept_arcs)
+
+        p2p = [c for c in old.point_to_point if arc_name not in c.arc_names]
+        mergings = [c for c in old.mergings if arc_name not in c.arc_names]
+        self.reused += len(p2p) + len(mergings)
+        self._candidates = CandidateSet(
+            point_to_point=p2p, mergings=mergings, stats=GenerationStats()
+        )
+
+    def add_arc(self, name: str, source: str, target: str, bandwidth: float) -> None:
+        """Add a channel; new candidates are generated only for groups
+        containing it."""
+        old = self._ensure_candidates()
+        self._graph.add_channel(name, source, target, bandwidth=bandwidth)
+
+        new_arc = self._graph.arc(name)
+        plan = best_point_to_point(new_arc.distance, new_arc.bandwidth, self.library)
+        p2p = list(old.point_to_point) + [
+            Candidate(arc_names=(name,), cost=plan.cost, plan=plan)
+        ]
+
+        # enumerate subsets containing the new arc, pruned as usual
+        matrices = compute_matrices(self._graph)
+        index = {a.name: i for i, a in enumerate(self._graph.arcs)}
+        others = [a.name for a in self._graph.arcs if a.name != name]
+        new_idx = index[name]
+        top = self.options.max_arity or len(self._graph)
+
+        new_mergings: List[Candidate] = []
+        for k in range(2, top + 1):
+            if k - 1 > len(others):
+                break
+            for combo in itertools.combinations(others, k - 1):
+                subset_names = tuple(sorted(combo + (name,)))
+                subset_idx = [index[n] for n in subset_names]
+                if subset_pruned(matrices, subset_idx, self.library):
+                    continue
+                merge_plan = build_merging_plan(self._graph, subset_names, self.library)
+                if merge_plan is None:
+                    continue
+                if (
+                    self.options.max_merge_hops is not None
+                    and merge_plan.max_hops > self.options.max_merge_hops
+                ):
+                    continue
+                new_mergings.append(
+                    Candidate(arc_names=merge_plan.arc_names, cost=merge_plan.cost, plan=merge_plan)
+                )
+
+        self.reused += len(old.point_to_point) + len(old.mergings)
+        self.rebuilt += 1 + len(new_mergings)
+        self._candidates = CandidateSet(
+            point_to_point=p2p,
+            mergings=list(old.mergings) + new_mergings,
+            stats=GenerationStats(),
+        )
+
+    def change_bandwidth(self, arc_name: str, bandwidth: float) -> None:
+        """Re-budget a channel.
+
+        Implemented as remove + add: *raising* the bandwidth can trip
+        Theorem 3.2 on subsets containing the arc, and *lowering* it
+        can un-prune subsets a cheaper re-costing pass would miss —
+        regenerating exactly the groups containing the arc handles
+        both.  Note the arc moves to the end of the graph's arc order.
+        """
+        arc = self._graph.arc(arc_name)  # raises ModelError on a miss
+        source, target = arc.source.name, arc.target.name
+        self.remove_arc(arc_name)
+        self.add_arc(arc_name, source, target, bandwidth)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SynthesisResult:
+        """Solve the covering problem over the current candidate set."""
+        import time
+
+        start = time.perf_counter()
+        candidates = self._ensure_candidates()
+        covering = build_covering_problem(self._graph, candidates)
+        cover = solve_cover(covering, self.options.solver_options)
+        by_label = {c.label(): c for c in candidates.all}
+        selected = [by_label[n] for n in cover.column_names]
+        impl = materialize_selection(
+            self._graph, self.library, selected, name=f"{self._graph.name}-impl"
+        )
+        if self.options.validate_result:
+            from .validation import validate
+
+            validate(impl, self._graph)
+        return SynthesisResult(
+            implementation=impl,
+            selected=selected,
+            total_cost=cover.weight,
+            candidates=candidates,
+            covering=covering,
+            cover=cover,
+            point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
+            elapsed_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,107 @@
+"""The Γ and Δ matrices and the bandwidth vector of Figure 2.
+
+The candidate-generation algorithm precomputes three quantities:
+
+- the **bandwidth vector** ``B[i] = b(a_i)``;
+- the **Constrained Distance Sum Matrix**
+  ``Γ(a_i, a_j) = d(a_i) + d(a_j)`` (the paper's Table 1);
+- the **Merging Distance Sum Matrix**
+  ``Δ(a_i, a_j) = ||p(u_i) - p(u_j)|| + ||p(v_i) - p(v_j)||``
+  (the paper's Table 2).
+
+Both matrices are symmetric, so only the upper triangle is meaningful;
+we store full dense numpy arrays for simplicity (|A| is small compared
+to the candidate space) and index them by arc *name* through an order
+map, so callers never juggle raw indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .constraint_graph import Arc, ConstraintGraph
+
+__all__ = [
+    "ArcMatrices",
+    "compute_bandwidth_vector",
+    "compute_gamma",
+    "compute_delta",
+    "compute_matrices",
+]
+
+
+@dataclass(frozen=True)
+class ArcMatrices:
+    """Bundle of the Figure 2 precomputations for one constraint graph."""
+
+    arc_names: Tuple[str, ...]
+    bandwidth: np.ndarray  # shape (n,)
+    gamma: np.ndarray  # shape (n, n), Γ
+    delta: np.ndarray  # shape (n, n), Δ
+
+    def index(self, arc_name: str) -> int:
+        """Position of ``arc_name`` in the matrix ordering."""
+        try:
+            return self.arc_names.index(arc_name)
+        except ValueError:
+            raise KeyError(f"arc {arc_name!r} not in matrices") from None
+
+    def gamma_of(self, a: str, b: str) -> float:
+        """Γ(a, b) by arc names."""
+        return float(self.gamma[self.index(a), self.index(b)])
+
+    def delta_of(self, a: str, b: str) -> float:
+        """Δ(a, b) by arc names."""
+        return float(self.delta[self.index(a), self.index(b)])
+
+    def bandwidth_of(self, a: str) -> float:
+        """b(a) by arc name."""
+        return float(self.bandwidth[self.index(a)])
+
+    @property
+    def size(self) -> int:
+        """Number of arcs, |A|."""
+        return len(self.arc_names)
+
+
+def compute_bandwidth_vector(graph: ConstraintGraph) -> np.ndarray:
+    """``ComputeBandwidthVector(G)`` — b(a) for every arc, in arc order."""
+    return np.array([a.bandwidth for a in graph.arcs], dtype=float)
+
+
+def compute_gamma(graph: ConstraintGraph) -> np.ndarray:
+    """``ComputeConstrainedDistanceSumMatrix(G)`` — Γ(a_i, a_j) = d_i + d_j.
+
+    The diagonal is set to ``2 d_i`` by the same formula but is never
+    consulted (a merging involves at least two distinct arcs).
+    """
+    d = np.array([a.distance for a in graph.arcs], dtype=float)
+    return d[:, None] + d[None, :]
+
+
+def compute_delta(graph: ConstraintGraph) -> np.ndarray:
+    """``ComputeMergingDistanceSumMatrix(G)`` —
+    Δ(a_i, a_j) = ||p(u_i) - p(u_j)|| + ||p(v_i) - p(v_j)||."""
+    arcs = graph.arcs
+    n = len(arcs)
+    delta = np.zeros((n, n), dtype=float)
+    norm = graph.norm
+    for i in range(n):
+        for j in range(i + 1, n):
+            du = norm.distance(arcs[i].source.position, arcs[j].source.position)
+            dv = norm.distance(arcs[i].target.position, arcs[j].target.position)
+            delta[i, j] = delta[j, i] = du + dv
+    return delta
+
+
+def compute_matrices(graph: ConstraintGraph) -> ArcMatrices:
+    """All three Figure 2 precomputations in one call."""
+    return ArcMatrices(
+        arc_names=tuple(a.name for a in graph.arcs),
+        bandwidth=compute_bandwidth_vector(graph),
+        gamma=compute_gamma(graph),
+        delta=compute_delta(graph),
+    )

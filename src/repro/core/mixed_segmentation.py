@@ -1,0 +1,253 @@
+"""Heterogeneous arc segmentation — mixing link types in one chain.
+
+Definition 2.7's K-way segmentation is "the concatenation of K library
+links"; nothing requires the K links to be of the same type, and with
+*fixed-cost* link families a mixed chain can strictly beat every
+homogeneous one.  Example: spanning d = 11 with links
+short (d=10, $10) and stub (d=2, $3) costs $20 homogeneous-short,
+$18 homogeneous-stub (6 stubs), but only $13 as short+stub.
+
+This module computes the exact optimum chain over mixed link types:
+
+    minimize   Σ_l  n_l · (cost_fixed_l + cost_per_unit_l · x_l / n_l)
+               + (Σ_l n_l − 1) · c(repeater)
+    subject to Σ_l x_l = d,   0 ≤ x_l ≤ n_l · max_length_l,  n_l ∈ N
+
+For fixed counts ``n_l`` the continuous part is a trivial LP (put the
+span on the cheapest per-unit types first), so the search reduces to
+integer count vectors, explored as a uniform-cost search on the number
+of segments with an admissible completion bound.  Complexity is small
+for realistic libraries (a handful of link families).
+
+The homogeneous planner (:mod:`repro.core.point_to_point`) remains the
+default — it is what the paper's examples need and is much cheaper to
+evaluate inside the placement loops.  Heterogeneous planning is opt-in
+via :func:`best_mixed_segmentation` or
+``SynthesisOptions``-level post-improvement.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .exceptions import InfeasibleError
+from .geometry import Point
+from .implementation import ImplementationGraph, Path
+from .library import CommunicationLibrary, Link, NodeKind, NodeSpec
+
+__all__ = ["MixedChainPlan", "best_mixed_segmentation", "materialize_mixed_chain"]
+
+#: safety valve on the total number of segments explored.
+_MAX_SEGMENTS = 4096
+
+
+@dataclass(frozen=True)
+class MixedChainPlan:
+    """An optimal heterogeneous chain for one (distance, bandwidth).
+
+    ``segments`` lists (link, count, span_per_instance) groups in the
+    order they should be laid out; ``repeaters`` instances of
+    ``repeater`` joint the segments.
+    """
+
+    segments: Tuple[Tuple[Link, int, float], ...]
+    repeater: Optional[NodeSpec]
+    distance: float
+    bandwidth: float
+    cost: float
+
+    @property
+    def segment_count(self) -> int:
+        """Total number of link instances in the chain."""
+        return sum(count for _, count, _ in self.segments)
+
+    @property
+    def repeater_count(self) -> int:
+        """Interior repeaters (segment_count - 1, 0 for a matching)."""
+        return max(0, self.segment_count - 1)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when more than one link family appears."""
+        return len(self.segments) > 1
+
+    @property
+    def max_hops(self) -> int:
+        """Communication vertices on the chain (interior repeaters) — a
+        latency proxy matching the other plan types' property."""
+        return self.repeater_count
+
+
+def _usable_links(bandwidth: float, library: CommunicationLibrary) -> List[Link]:
+    return [l for l in library.links if l.can_carry(bandwidth)]
+
+
+def _chain_cost_for_counts(
+    links: Sequence[Link],
+    counts: Sequence[int],
+    distance: float,
+    repeater_cost: float,
+) -> Optional[Tuple[float, List[Tuple[Link, int, float]]]]:
+    """Optimal span assignment for fixed per-type instance counts.
+
+    Greedy-by-per-unit-cost is optimal for the continuous subproblem:
+    each instance of type l can absorb up to max_length_l span at
+    marginal cost cost_per_unit_l, so fill cheapest-marginal first.
+    Returns (cost, [(link, count, span_per_instance)]) or None when the
+    counts cannot absorb the distance.
+    """
+    total_segments = sum(counts)
+    if total_segments == 0:
+        return None
+    capacity = 0.0
+    fixed = 0.0
+    for link, n in zip(links, counts):
+        if n == 0:
+            continue
+        capacity += n * (link.max_length if not math.isinf(link.max_length) else math.inf)
+        fixed += n * link.cost_fixed
+    if capacity < distance * (1 - 1e-12):
+        return None
+
+    remaining = distance
+    cost = fixed + (total_segments - 1) * repeater_cost
+    layout: List[Tuple[Link, int, float]] = []
+    order = sorted(
+        (i for i in range(len(links)) if counts[i] > 0),
+        key=lambda i: links[i].cost_per_unit,
+    )
+    for i in order:
+        link, n = links[i], counts[i]
+        cap = link.max_length * n if not math.isinf(link.max_length) else remaining
+        span_total = min(remaining, cap)
+        remaining -= span_total
+        cost += link.cost_per_unit * span_total
+        layout.append((link, n, span_total / n))
+    if remaining > 1e-9 * max(1.0, distance):
+        return None
+    return cost, layout
+
+
+def best_mixed_segmentation(
+    distance: float,
+    bandwidth: float,
+    library: CommunicationLibrary,
+    max_segments: Optional[int] = None,
+) -> MixedChainPlan:
+    """Exact minimum-cost (possibly mixed-type) chain for one channel.
+
+    Explores per-type instance-count vectors in order of total segment
+    count, stopping when adding segments cannot beat the incumbent
+    (every extra segment costs at least one repeater plus the cheapest
+    fixed cost).  Duplication is out of scope here — the bandwidth must
+    fit a single chain, i.e. some link type must carry it.
+    """
+    if distance < 0 or bandwidth <= 0:
+        raise InfeasibleError(f"degenerate requirement d={distance}, b={bandwidth}")
+    links = _usable_links(bandwidth, library)
+    if not links:
+        raise InfeasibleError(
+            f"no link in {library.name!r} carries bandwidth {bandwidth} on one chain"
+        )
+    repeater = library.cheapest_node(NodeKind.REPEATER)
+    repeater_cost = repeater.cost if repeater is not None else None
+
+    finite = [l for l in links if not math.isinf(l.max_length)]
+    infinite = [l for l in links if math.isinf(l.max_length)]
+
+    best: Optional[Tuple[float, List[Tuple[Link, int, float]]]] = None
+
+    # single-instance candidates (matching, incl. per-unit families)
+    for link in links:
+        if link.can_span(distance) or distance == 0.0:
+            cost = link.cost_of(min(distance, link.max_length))
+            if best is None or cost < best[0]:
+                best = (cost, [(link, 1, distance)])
+
+    if repeater_cost is not None and finite:
+        # chains: choose counts per finite type; infinite-length types
+        # never need more than one instance (their per-unit price is
+        # flat), so they contribute at most count 1.
+        cap = max_segments or _MAX_SEGMENTS
+        all_types = finite + infinite
+        # bound: per-type count can never exceed what that type alone needs
+        per_type_max = []
+        for l in all_types:
+            if math.isinf(l.max_length):
+                per_type_max.append(1)
+            else:
+                per_type_max.append(min(cap, int(math.ceil(distance / l.max_length - 1e-12))))
+
+        cheapest_fixed = min(l.cost_fixed for l in all_types)
+        for counts in itertools.product(*(range(0, m + 1) for m in per_type_max)):
+            total = sum(counts)
+            if total == 0:
+                continue
+            if best is not None:
+                # admissible bound: total segments already cost
+                # (total-1) repeaters + total * cheapest fixed
+                lower = (total - 1) * repeater_cost + total * cheapest_fixed
+                if lower >= best[0]:
+                    continue
+            entry = _chain_cost_for_counts(all_types, counts, distance, repeater_cost)
+            if entry is not None and (best is None or entry[0] < best[0]):
+                best = entry
+
+    if best is None:
+        raise InfeasibleError(
+            f"library {library.name!r} cannot span d={distance} at b={bandwidth} "
+            "even with heterogeneous segmentation"
+        )
+
+    cost, layout = best
+    return MixedChainPlan(
+        segments=tuple((link, n, span) for link, n, span in layout),
+        repeater=repeater if len(layout) > 1 or layout[0][1] > 1 else None,
+        distance=distance,
+        bandwidth=bandwidth,
+        cost=cost,
+    )
+
+
+def materialize_mixed_chain(
+    graph: ImplementationGraph,
+    plan: MixedChainPlan,
+    source_name: str,
+    target_name: str,
+) -> List[Path]:
+    """Instantiate a heterogeneous chain between two existing vertices.
+
+    Segments are laid out along the straight source→target line in the
+    plan's group order (each group's instances consecutively), with one
+    repeater at each interior joint.  Returns the single-path list the
+    caller registers as the arc implementation.
+    """
+    u = graph.vertex(source_name)
+    v = graph.vertex(target_name)
+
+    spans: List[Tuple[Link, float]] = []
+    for link, count, span in plan.segments:
+        spans.extend((link, span) for _ in range(count))
+    total = sum(s for _, s in spans)
+
+    waypoints = [source_name]
+    cum = 0.0
+    for _link, span in spans[:-1]:
+        cum += span
+        t = cum / total if total > 0 else 0.0
+        pos = Point(
+            u.position.x + (v.position.x - u.position.x) * t,
+            u.position.y + (v.position.y - u.position.y) * t,
+        )
+        rep = graph.add_communication_vertex(plan.repeater, pos)
+        waypoints.append(rep.name)
+    waypoints.append(target_name)
+
+    arc_names = []
+    for (link, _span), a, b in zip(spans, waypoints, waypoints[1:]):
+        inst = graph.add_link_instance(link, a, b, bandwidth=plan.bandwidth)
+        arc_names.append(inst.name)
+    return [Path(tuple(arc_names))]

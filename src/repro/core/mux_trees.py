@@ -1,0 +1,73 @@
+"""Bounded-fan-in merge structures: multi-level mux/demux trees.
+
+Definition 2.2 allows a node to bound its degree (a 4:1 mux cannot
+merge 9 channels directly).  A K-way merging whose mux fan-in exceeds
+``max_degree`` is still realizable as a *tree* of muxes — first-level
+muxes combine groups of channels, a second level combines their
+outputs, and so on (mirrored by a demux tree on the far side).
+
+This module computes the node overhead of such trees and exposes
+:func:`mux_tree_nodes` / :func:`demux_tree_nodes` used by the merging
+builder to (a) reject mergings the library genuinely cannot realize
+and (b) charge the correct number of node instances when it can.
+
+The tree shape that minimizes node count for fan-in ``D`` over ``k``
+inputs is any D-ary tree with ``ceil((k - 1) / (D - 1))`` internal
+nodes — the classic reduction-tree count — which we also use as the
+cost; positions of the extra level's nodes coincide with the merge
+point (their interconnect is zero-length, so only node cost matters
+under every library in this repository; a future refinement could
+spread them).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .library import CommunicationLibrary, NodeKind, NodeSpec
+
+__all__ = ["tree_node_count", "mux_tree_nodes", "demux_tree_nodes", "merge_node_overhead"]
+
+
+def tree_node_count(fan_in: int, max_degree: Optional[int]) -> int:
+    """Internal nodes of a minimum reduction tree over ``fan_in`` inputs.
+
+    ``max_degree=None`` (unbounded) or ``fan_in <= max_degree`` needs a
+    single node; otherwise ``ceil((fan_in - 1) / (max_degree - 1))``.
+    ``fan_in <= 1`` needs none.
+    """
+    if fan_in <= 1:
+        return 0
+    if max_degree is None or fan_in <= max_degree:
+        return 1
+    return math.ceil((fan_in - 1) / (max_degree - 1))
+
+
+def mux_tree_nodes(k: int, library: CommunicationLibrary) -> Optional[int]:
+    """Mux instances needed to merge ``k`` channels; None if no mux."""
+    mux = library.cheapest_node(NodeKind.MUX)
+    if mux is None:
+        return None
+    return tree_node_count(k, mux.max_degree)
+
+
+def demux_tree_nodes(k: int, library: CommunicationLibrary) -> Optional[int]:
+    """Demux instances needed to split ``k`` channels; None if no demux."""
+    demux = library.cheapest_node(NodeKind.DEMUX)
+    if demux is None:
+        return None
+    return tree_node_count(k, demux.max_degree)
+
+
+def merge_node_overhead(k: int, library: CommunicationLibrary) -> Optional[float]:
+    """Total node cost of the mux tree + demux tree for a K-way merging,
+    or ``None`` when the library lacks a mux or demux entirely."""
+    mux = library.cheapest_node(NodeKind.MUX)
+    demux = library.cheapest_node(NodeKind.DEMUX)
+    if mux is None or demux is None:
+        return None
+    return (
+        tree_node_count(k, mux.max_degree) * mux.cost
+        + tree_node_count(k, demux.max_degree) * demux.cost
+    )

@@ -1,0 +1,118 @@
+"""Merging-pruning conditions: Lemma 3.1, Lemma 3.2, Theorems 3.1, 3.2.
+
+These results let :mod:`repro.core.candidates` discard K-way merging
+candidates that are guaranteed to be sub-optimal, *independently of the
+library* (as long as Assumption 2.1 holds):
+
+- **Lemma 3.1** (pairs): ``{a, a'}`` is not 2-way mergeable when
+  ``d(a) + d(a') <= ||p(u) - p(u')|| + ||p(v) - p(v')||`` — i.e. when
+  ``Γ(a, a') <= Δ(a, a')``.  Intuition: any merged structure must route
+  both channels through common merge/split points, paying at least the
+  detour Δ; when the direct lengths already undercut the detour, two
+  dedicated implementations are never beaten.
+
+- **Lemma 3.2** (k arcs, pivot form): with pivot ``a_k``,
+  ``(k-1) d(a_k) + Σ_{i<k} d(a_i) <= Σ_{i<k} (||u_i - u_k|| + ||v_i - v_k||)``
+  implies not k-way mergeable.  Rewriting the left side as
+  ``Σ_{i≠k} (d(a_i) + d(a_k))`` shows both sides are column sums of the
+  Γ and Δ matrices — which is why Figure 2's algorithm operates on
+  matrix columns.  The condition is *sufficient*, so we may test every
+  pivot and prune if **any** pivot satisfies it.
+
+- **Theorem 3.1** (monotonicity): an arc in no k-way merging is in no
+  (k+h)-way merging — so once an arc drops out at level k its Γ column
+  is removed and it never returns (implemented by the active-set loop
+  in :mod:`repro.core.candidates`).
+
+- **Theorem 3.2** (bandwidth): ``Σ b(a_i) >= max_l b(l) + min_j b(a_j)``
+  implies not k-way mergeable — the common trunk must carry the sum of
+  the merged bandwidths, and once that exceeds the fastest library link
+  by more than the smallest member's demand, dropping that member
+  always wins.
+
+All predicates answer "is this subset *certainly not* mergeable?";
+``False`` means "possibly mergeable" (the cost step decides).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .library import CommunicationLibrary
+from .matrices import ArcMatrices
+
+__all__ = [
+    "PRUNE_TOL",
+    "lemma_3_1_not_mergeable",
+    "lemma_3_2_not_mergeable",
+    "theorem_3_2_not_mergeable",
+    "subset_pruned",
+]
+
+#: relative tolerance for the <= comparisons: equality (collinear or
+#: shared-endpoint geometries, as the paper's a1/a3 pair) must count as
+#: "not mergeable" even in floating point.
+PRUNE_TOL = 1e-9
+
+
+def _leq(lhs: float, rhs: float) -> bool:
+    """``lhs <= rhs`` with a relative tolerance favouring pruning on ties."""
+    scale = max(1.0, abs(lhs), abs(rhs))
+    return lhs <= rhs + PRUNE_TOL * scale
+
+
+def lemma_3_1_not_mergeable(matrices: ArcMatrices, i: int, j: int) -> bool:
+    """Lemma 3.1 by matrix index: True ⇒ {a_i, a_j} is not 2-way mergeable."""
+    return _leq(float(matrices.gamma[i, j]), float(matrices.delta[i, j]))
+
+
+def lemma_3_2_not_mergeable(matrices: ArcMatrices, indices: Sequence[int]) -> bool:
+    """Lemma 3.2 over a subset of arc indices, testing every pivot.
+
+    True ⇒ the subset is certainly not k-way mergeable.  For ``k = 2``
+    this coincides with Lemma 3.1 (both pivots give the same sums).
+    """
+    idx = np.asarray(indices, dtype=int)
+    if idx.size < 2:
+        raise ValueError("mergings involve at least two arcs")
+    gamma_block = matrices.gamma[np.ix_(idx, idx)]
+    delta_block = matrices.delta[np.ix_(idx, idx)]
+    # Column sums over the subset exclude the pivot's diagonal entry.
+    gamma_sums = gamma_block.sum(axis=0) - np.diag(gamma_block)
+    delta_sums = delta_block.sum(axis=0)  # Δ diagonal is zero by construction
+    for g, d in zip(gamma_sums, delta_sums):
+        if _leq(float(g), float(d)):
+            return True
+    return False
+
+
+def theorem_3_2_not_mergeable(
+    bandwidths: Sequence[float],
+    max_link_bandwidth: float,
+) -> bool:
+    """Theorem 3.2: True ⇒ the arcs with these bandwidths cannot merge.
+
+    ``Σ b_i >= max_l b(l) + min_j b_j``.
+    """
+    b = np.asarray(bandwidths, dtype=float)
+    if b.size < 2:
+        raise ValueError("mergings involve at least two arcs")
+    total = float(b.sum())
+    threshold = max_link_bandwidth + float(b.min())
+    return total >= threshold - PRUNE_TOL * max(1.0, abs(threshold))
+
+
+def subset_pruned(
+    matrices: ArcMatrices,
+    indices: Sequence[int],
+    library: CommunicationLibrary,
+) -> bool:
+    """Combined pruning: True when *any* of the sufficient conditions
+    (Lemma 3.2 geometric, Theorem 3.2 bandwidth) certifies the subset
+    as not mergeable."""
+    if lemma_3_2_not_mergeable(matrices, indices):
+        return True
+    bandwidths = [float(matrices.bandwidth[i]) for i in indices]
+    return theorem_3_2_not_mergeable(bandwidths, library.max_link_bandwidth())

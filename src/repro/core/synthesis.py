@@ -1,0 +1,214 @@
+"""End-to-end constraint-driven communication synthesis.
+
+:func:`synthesize` chains the paper's two steps:
+
+1. candidate generation (:mod:`repro.core.candidates` — Figure 2);
+2. global selection as a weighted Unate Covering Problem
+   (:mod:`repro.covering` — rows are constraint arcs, columns the
+   candidates, weights the candidate costs);
+
+then materializes the selected candidates into a single
+:class:`~repro.core.implementation.ImplementationGraph`, validates it
+against Definition 2.4, and returns everything a caller could want to
+inspect in a :class:`SynthesisResult`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..covering.bnb import SolverOptions, solve_cover
+from ..covering.ilp import solve_ilp
+from ..covering.matrix import Column, CoverSolution, CoveringProblem
+from .candidates import Candidate, CandidateSet, PruningLevel, generate_candidates
+from .constraint_graph import ConstraintGraph
+from .exceptions import SynthesisError
+from .implementation import ImplementationGraph, Path
+from .library import CommunicationLibrary
+from .merging import materialize_merging
+from .mixed_segmentation import materialize_mixed_chain
+from .point_to_point import materialize_plan
+from .validation import validate
+
+__all__ = [
+    "SynthesisOptions",
+    "SynthesisResult",
+    "build_covering_problem",
+    "materialize_selection",
+    "synthesize",
+]
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Configuration for one synthesis run.
+
+    ``ucp_solver`` selects the global-step engine: the native
+    branch-and-bound (``"bnb"``, default) or the independent 0-1 ILP
+    cross-checker (``"ilp"``).  ``validate_result`` runs the full
+    Definition 2.4 validator on the final graph (on by default — it is
+    cheap at paper scales and catches construction bugs loudly).
+    """
+
+    pruning: PruningLevel = PruningLevel.LEMMAS
+    max_arity: Optional[int] = None
+    drop_dominated: bool = False
+    #: also consider heterogeneous (mixed-link-type) chains per arc.
+    heterogeneous: bool = False
+    #: drop merging candidates whose worst path exceeds this many
+    #: communication vertices (latency constraint; None = unconstrained).
+    max_merge_hops: Optional[int] = None
+    #: refine merge-point placement with Nelder-Mead on nonlinear cost
+    #: surfaces (True, default) or accept the linear-surrogate placement
+    #: (False — much faster on floor-style SoC costs, small quality risk).
+    polish_placement: bool = True
+    #: weighted multi-objective knob: add ``hop_penalty x worst-path
+    #: hops`` to every candidate's weight.  total_cost then reports the
+    #: penalized objective; implementation.cost() stays monetary.
+    hop_penalty: float = 0.0
+    ucp_solver: str = "bnb"
+    solver_options: SolverOptions = field(default_factory=SolverOptions)
+    validate_result: bool = True
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one synthesis run."""
+
+    implementation: ImplementationGraph
+    selected: List[Candidate]
+    total_cost: float
+    candidates: CandidateSet
+    covering: CoveringProblem
+    cover: CoverSolution
+    #: cost of the optimum point-to-point implementation graph
+    #: (Definition 2.6) — the no-merging baseline, for the savings ratio.
+    point_to_point_cost: float
+    elapsed_seconds: float
+
+    @property
+    def savings(self) -> float:
+        """Absolute cost saved versus the point-to-point baseline."""
+        return self.point_to_point_cost - self.total_cost
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of the baseline cost saved (0 when merging never helps)."""
+        if self.point_to_point_cost == 0:
+            return 0.0
+        return self.savings / self.point_to_point_cost
+
+    @property
+    def merged_groups(self) -> List[Sequence[str]]:
+        """Arc-name groups implemented by a shared trunk."""
+        return [c.arc_names for c in self.selected if c.is_merging]
+
+
+def build_covering_problem(graph: ConstraintGraph, candidates: CandidateSet) -> CoveringProblem:
+    """Rows = constraint arcs, columns = candidates, weights = costs."""
+    rows = [a.name for a in graph.arcs]
+    columns = [
+        Column(name=c.label(), rows=frozenset(c.arc_names), weight=c.cost)
+        for c in candidates.all
+    ]
+    return CoveringProblem(rows, columns)
+
+
+def materialize_selection(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    selected: Sequence[Candidate],
+    name: str = "implementation",
+) -> ImplementationGraph:
+    """Build one implementation graph realizing every selected candidate.
+
+    When selections overlap on an arc (legal in unate covering, if
+    rarely optimal) the arc's path sets are unioned.
+    """
+    impl = ImplementationGraph(library=library, norm=graph.norm, name=name)
+    for port in graph.ports:
+        impl.add_computational_vertex(port)
+
+    paths_by_arc: Dict[str, List[Path]] = {}
+    for candidate in selected:
+        if candidate.is_merging:
+            produced = materialize_merging(impl, graph, candidate.plan)
+            for arc_name, paths in produced.items():
+                paths_by_arc.setdefault(arc_name, []).extend(paths)
+        elif candidate.is_mixed_chain:
+            (arc_name,) = candidate.arc_names
+            arc = graph.arc(arc_name)
+            paths = materialize_mixed_chain(
+                impl, candidate.plan, arc.source.name, arc.target.name
+            )
+            paths_by_arc.setdefault(arc_name, []).extend(paths)
+        else:
+            (arc_name,) = candidate.arc_names
+            arc = graph.arc(arc_name)
+            paths = materialize_plan(impl, candidate.plan, arc.source.name, arc.target.name)
+            paths_by_arc.setdefault(arc_name, []).extend(paths)
+
+    for arc_name, paths in paths_by_arc.items():
+        impl.set_arc_implementation(arc_name, paths)
+    return impl
+
+
+def synthesize(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: Optional[SynthesisOptions] = None,
+) -> SynthesisResult:
+    """Solve Problem 2.1 exactly for ``graph`` over ``library``.
+
+    Returns the minimum-cost implementation graph together with the
+    intermediate artifacts (candidate set, covering instance, cover).
+    Raises :class:`~repro.core.exceptions.InfeasibleError` when some arc
+    has no implementation, :class:`SynthesisError` on configuration
+    mistakes.
+    """
+    options = options or SynthesisOptions()
+    if len(graph) == 0:
+        raise SynthesisError("constraint graph has no arcs — nothing to synthesize")
+    library.validate()
+
+    start = time.perf_counter()
+    candidates = generate_candidates(
+        graph,
+        library,
+        pruning=options.pruning,
+        max_arity=options.max_arity,
+        drop_dominated=options.drop_dominated,
+        heterogeneous=options.heterogeneous,
+        max_merge_hops=options.max_merge_hops,
+        polish_placement=options.polish_placement,
+        hop_penalty=options.hop_penalty,
+    )
+    covering = build_covering_problem(graph, candidates)
+
+    if options.ucp_solver == "bnb":
+        cover = solve_cover(covering, options.solver_options)
+    elif options.ucp_solver == "ilp":
+        cover = solve_ilp(covering)
+    else:
+        raise SynthesisError(f"unknown ucp_solver {options.ucp_solver!r} (use 'bnb' or 'ilp')")
+
+    by_label = {c.label(): c for c in candidates.all}
+    selected = [by_label[name] for name in cover.column_names]
+
+    impl = materialize_selection(graph, library, selected, name=f"{graph.name}-impl")
+    if options.validate_result:
+        validate(impl, graph)
+
+    elapsed = time.perf_counter() - start
+    return SynthesisResult(
+        implementation=impl,
+        selected=selected,
+        total_cost=cover.weight,
+        candidates=candidates,
+        covering=covering,
+        cover=cover,
+        point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,217 @@
+"""Unit handling for bandwidth, distance and cost quantities.
+
+The paper's domains use wildly different scales: a System-on-Chip speaks
+in gigabytes per second over millimeters, a LAN in gigabits per second
+over meters, a WAN in megabits per second over kilometers.  Internally
+the library stores plain floats in *canonical units*:
+
+- bandwidth: bits per second (bps);
+- distance:  meters (m);
+- cost:      dimensionless "cost units" (dollars, repeater counts, ...).
+
+This module provides parsing (``"10Mbps"`` → ``1e7``) and formatting
+(``1e7`` → ``"10 Mbps"``) so that examples and reports read like the
+paper while the math stays unit-free.  Parsing is strict: an unknown
+suffix raises ``ValueError`` instead of guessing.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+__all__ = [
+    "parse_bandwidth",
+    "format_bandwidth",
+    "parse_distance",
+    "format_distance",
+    "Mbps",
+    "Gbps",
+    "Kbps",
+    "GBps",
+    "MBps",
+    "mm",
+    "um",
+    "cm",
+    "km",
+    "meters",
+]
+
+# ---------------------------------------------------------------------------
+# Bandwidth
+# ---------------------------------------------------------------------------
+
+#: multipliers to bits/second; decimal (SI) prefixes, as in networking usage.
+_BANDWIDTH_SUFFIXES: Dict[str, float] = {
+    "bps": 1.0,
+    "kbps": 1e3,
+    "mbps": 1e6,
+    "gbps": 1e9,
+    "tbps": 1e12,
+    # byte-per-second variants (the paper's SoC example uses GB/s)
+    "b/s": 1.0,
+    "kb/s": 1e3,
+    "mb/s": 1e6,
+    "gb/s": 1e9,
+    "bps8": 8.0,  # internal: byte/s == 8 bit/s handled via explicit names below
+}
+
+_BYTE_SUFFIXES: Dict[str, float] = {
+    "bytes/s": 8.0,
+    "kbytes/s": 8e3,
+    "mbytes/s": 8e6,
+    "gbytes/s": 8e9,
+}
+
+_QTY_RE = re.compile(r"^\s*([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Zµ/]*)\s*$")
+
+
+def Kbps(value: float) -> float:
+    """Kilobits per second expressed in canonical bps."""
+    return float(value) * 1e3
+
+
+def Mbps(value: float) -> float:
+    """Megabits per second expressed in canonical bps."""
+    return float(value) * 1e6
+
+
+def Gbps(value: float) -> float:
+    """Gigabits per second expressed in canonical bps."""
+    return float(value) * 1e9
+
+
+def MBps(value: float) -> float:
+    """Megabytes per second expressed in canonical bps."""
+    return float(value) * 8e6
+
+
+def GBps(value: float) -> float:
+    """Gigabytes per second expressed in canonical bps."""
+    return float(value) * 8e9
+
+
+def parse_bandwidth(text: str) -> float:
+    """Parse a bandwidth string like ``"10Mbps"`` or ``"1 Gbps"`` to bps.
+
+    Case-insensitive in the prefix; an explicit uppercase ``B`` (byte)
+    is distinguished from ``b`` (bit)::
+
+        >>> parse_bandwidth("10Mbps")
+        10000000.0
+        >>> parse_bandwidth("1 GBps")   # gigaBYTES per second
+        8000000000.0
+    """
+    m = _QTY_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse bandwidth {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2)
+    if suffix == "":
+        return value
+    # byte-vs-bit: detect a capital B immediately before "ps" or "/s".
+    is_bytes = re.search(r"B(?:ps|/s)$", suffix) is not None
+    key = suffix.lower()
+    mult = _BANDWIDTH_SUFFIXES.get(key)
+    if mult is None:
+        raise ValueError(f"unknown bandwidth unit {suffix!r} in {text!r}")
+    if is_bytes:
+        mult *= 8.0
+    return value * mult
+
+
+def format_bandwidth(bps: float, digits: int = 3) -> str:
+    """Render a canonical bps value with the most natural SI prefix."""
+    if bps < 0:
+        raise ValueError(f"bandwidth must be nonnegative, got {bps}")
+    for threshold, unit in ((1e12, "Tbps"), (1e9, "Gbps"), (1e6, "Mbps"), (1e3, "Kbps")):
+        if bps >= threshold:
+            return f"{_trim(bps / threshold, digits)} {unit}"
+    return f"{_trim(bps, digits)} bps"
+
+
+# ---------------------------------------------------------------------------
+# Distance
+# ---------------------------------------------------------------------------
+
+#: multipliers to meters.
+_DISTANCE_SUFFIXES: Dict[str, float] = {
+    "nm": 1e-9,
+    "um": 1e-6,
+    "µm": 1e-6,
+    "mm": 1e-3,
+    "cm": 1e-2,
+    "m": 1.0,
+    "km": 1e3,
+}
+
+
+def um(value: float) -> float:
+    """Micrometers expressed in canonical meters."""
+    return float(value) * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimeters expressed in canonical meters."""
+    return float(value) * 1e-3
+
+
+def cm(value: float) -> float:
+    """Centimeters expressed in canonical meters."""
+    return float(value) * 1e-2
+
+
+def meters(value: float) -> float:
+    """Identity helper for symmetry with the other distance builders."""
+    return float(value)
+
+
+def km(value: float) -> float:
+    """Kilometers expressed in canonical meters."""
+    return float(value) * 1e3
+
+
+def parse_distance(text: str) -> float:
+    """Parse a distance string like ``"0.6mm"`` or ``"97 km"`` to meters."""
+    m = _QTY_RE.match(text)
+    if not m:
+        raise ValueError(f"cannot parse distance {text!r}")
+    value = float(m.group(1))
+    suffix = m.group(2)
+    if suffix == "":
+        return value
+    key = suffix if suffix == "µm" else suffix.lower()
+    mult = _DISTANCE_SUFFIXES.get(key)
+    if mult is None:
+        raise ValueError(f"unknown distance unit {suffix!r} in {text!r}")
+    return value * mult
+
+
+def format_distance(m_value: float, digits: int = 4) -> str:
+    """Render a canonical meter value with a natural prefix."""
+    a = abs(m_value)
+    for threshold, unit, mult in (
+        (1e3, "km", 1e-3),
+        (1.0, "m", 1.0),
+        (1e-2, "cm", 1e2),
+        (1e-4, "mm", 1e3),  # down to 0.1 mm — "0.6 mm" reads better than "600 um"
+        (1e-6, "um", 1e6),
+    ):
+        if a >= threshold:
+            return f"{_trim(m_value * mult, digits)} {unit}"
+    if a == 0.0:
+        return "0 m"
+    return f"{_trim(m_value * 1e9, digits)} nm"
+
+
+def _trim(value: float, digits: int) -> str:
+    """Format ``value`` to ``digits`` significant digits, trimming zeros."""
+    if value == 0:
+        return "0"
+    magnitude = math.floor(math.log10(abs(value)))
+    decimals = max(0, digits - 1 - magnitude)
+    text = f"{value:.{decimals}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text

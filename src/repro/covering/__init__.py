@@ -1,0 +1,31 @@
+"""Weighted Unate Covering Problem substrate (paper refs [4], [8]).
+
+Exact solvers for the global-selection step of the synthesis: a native
+branch-and-bound with classical reductions and MIS/LP lower bounds, an
+independent 0-1 ILP solver for cross-checking, an exhaustive oracle for
+tests, and a greedy heuristic used to seed incumbents (and as a
+baseline).
+"""
+
+from .bnb import SolverOptions, greedy_cover, solve_cover
+from .bounds import best_lower_bound, lp_lower_bound, mis_lower_bound
+from .exhaustive import solve_exhaustive
+from .ilp import solve_ilp
+from .matrix import Column, CoverSolution, CoveringProblem
+from .reductions import ReducedState, reduce_to_fixpoint
+
+__all__ = [
+    "Column",
+    "CoveringProblem",
+    "CoverSolution",
+    "ReducedState",
+    "reduce_to_fixpoint",
+    "mis_lower_bound",
+    "lp_lower_bound",
+    "best_lower_bound",
+    "SolverOptions",
+    "solve_cover",
+    "greedy_cover",
+    "solve_ilp",
+    "solve_exhaustive",
+]

@@ -1,0 +1,33 @@
+"""Application-domain instances: the paper's two examples and friends.
+
+- :mod:`repro.domains.wan` — Example 1, the wide-area network whose
+  Γ/Δ matrices are the paper's Tables 1 and 2;
+- :mod:`repro.domains.soc` — on-chip wires with critical-length
+  segmentation (ref [11]) and repeater-count cost, Example 2's setting;
+- :mod:`repro.domains.mpeg4` — the multiprocessor MPEG-4 decoder
+  floorplan used to regenerate Figure 5;
+- :mod:`repro.domains.lan` — a fiber-vs-wireless LAN, the introduction's
+  third motivating domain.
+"""
+
+from .lan import lan_example, lan_library
+from .mpeg4 import mpeg4_constraint_graph, mpeg4_example
+from .multichip import multichip_constraint_graph, multichip_example, multichip_library
+from .soc import soc_library, repeater_cost, soc_example
+from .wan import wan_constraint_graph, wan_example, wan_library
+
+__all__ = [
+    "wan_constraint_graph",
+    "wan_library",
+    "wan_example",
+    "soc_library",
+    "repeater_cost",
+    "soc_example",
+    "mpeg4_constraint_graph",
+    "mpeg4_example",
+    "lan_library",
+    "lan_example",
+    "multichip_constraint_graph",
+    "multichip_library",
+    "multichip_example",
+]

@@ -1,0 +1,74 @@
+"""Local-area-network domain — the introduction's third example.
+
+"If we are studying how to implement a LAN and we want to evaluate
+whether to realize it as a fiber-optic network or a wireless network,
+(or a combination of the two), the set of channels could just capture
+all the specified links among the clients and the servers" — Euclidean
+distances, bandwidths in gigabit per second.
+
+The library models three families:
+
+- **wifi** — cheap per-meter equipment cost, modest bandwidth, limited
+  reach (access-point range), so long channels need repeater stations;
+- **fiber** — per-meter trenched fiber, high bandwidth, any length;
+- **copper** — very cheap, low bandwidth, short reach (patch runs).
+
+A small campus instance (two buildings of clients, one server room)
+exercises matching, segmentation (wifi over the courtyard) and merging
+(client uplinks sharing one fiber trunk).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.geometry import EUCLIDEAN, Point
+from ..core.library import CommunicationLibrary, Link, NodeKind, NodeSpec
+from ..core.units import Gbps, Mbps
+
+__all__ = ["lan_library", "lan_constraint_graph", "lan_example"]
+
+
+def lan_library() -> CommunicationLibrary:
+    """Fiber / wifi / copper library with switch-room node costs.
+
+    Costs are per meter (fiber trenching dominates), plus fixed node
+    costs for repeater stations and mux/demux aggregation switches.
+    """
+    lib = CommunicationLibrary("lan-library")
+    lib.add_link(Link("copper", bandwidth=Mbps(100), max_length=90.0, cost_per_unit=0.5, cost_fixed=5.0))
+    lib.add_link(Link("wifi", bandwidth=Mbps(300), max_length=120.0, cost_per_unit=0.2, cost_fixed=80.0))
+    lib.add_link(Link("fiber", bandwidth=Gbps(10), cost_per_unit=6.0, cost_fixed=40.0))
+    lib.add_node(NodeSpec("ap-repeater", NodeKind.REPEATER, cost=120.0))
+    lib.add_node(NodeSpec("agg-switch", NodeKind.SWITCH, cost=250.0, max_degree=24))
+    return lib
+
+
+def lan_constraint_graph() -> ConstraintGraph:
+    """A two-building campus: six clients, one server room, one uplink.
+
+    Positions in meters.  Every client needs a duplex pair of channels
+    to the server room; the west-building clients sit ~200 m away, so
+    their uplinks are natural merge candidates.
+    """
+    graph = ConstraintGraph(norm=EUCLIDEAN, name="campus-lan")
+    clients_west = {"w1": Point(0, 0), "w2": Point(8, 12), "w3": Point(15, 4)}
+    clients_east = {"e1": Point(250, 10), "e2": Point(258, 22)}
+    server = Point(230, 0)
+
+    for name, pos in {**clients_west, **clients_east}.items():
+        graph.add_port(name, pos, module=f"client-{name}")
+    graph.add_port("srv", server, module="server-room")
+
+    idx = 0
+    for client in list(clients_west) + list(clients_east):
+        idx += 1
+        graph.add_channel(f"up{idx}", client, "srv", bandwidth=Mbps(200))
+        graph.add_channel(f"down{idx}", "srv", client, bandwidth=Mbps(200))
+    return graph
+
+
+def lan_example() -> Tuple[ConstraintGraph, CommunicationLibrary]:
+    """The complete campus-LAN instance."""
+    return lan_constraint_graph(), lan_library()

@@ -1,0 +1,89 @@
+"""Multi-chip multi-processor board — the paper's third system class.
+
+Section 2: the model targets "a 'System-on-Chip', a multi-chip
+multi-processor system, or a local area network".  This domain covers
+the middle one as a *blade backplane*: processor blades along one edge
+of a large board, a switch/memory hub across the backplane, with a
+library mixing
+
+- **pcb-trace** — cheap single-ended traces: fine bandwidth for one
+  logical channel, but short reach (signal integrity), so a backplane
+  crossing needs a chain of **retimers**;
+- **serdes-lane** — a differential SerDes lane: an order of magnitude
+  more bandwidth and full-board reach, but a substantial fixed cost
+  (the PHY pair).  One lane easily carries several blades' logical
+  channels — *sharing lanes across channels is exactly the paper's
+  K-way merging*, and is how real backplanes amortize PHYs;
+- **crossbar** — a switch package playing mux/demux with bounded
+  fan-in.
+
+Distances in centimeters (Euclidean), bandwidths in bit/s.  The
+default instance is a six-blade backplane whose uplinks (and a pair of
+downlinks) are textbook lane-sharing candidates: dedicated retimed
+traces cost ~36 per uplink, while three uplinks merged onto one lane
+cost ~58 total.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.geometry import EUCLIDEAN, Point
+from ..core.library import CommunicationLibrary, Link, NodeKind, NodeSpec
+from ..core.units import Gbps
+
+__all__ = ["multichip_library", "multichip_constraint_graph", "multichip_example"]
+
+
+def multichip_library(
+    trace_cost_per_cm: float = 0.4,
+    trace_reach_cm: float = 10.0,
+    retimer_cost: float = 3.0,
+    serdes_fixed: float = 30.0,
+    serdes_cost_per_cm: float = 0.15,
+    crossbar_cost: float = 6.0,
+    crossbar_degree: int = 6,
+) -> CommunicationLibrary:
+    """The backplane kit described in the module docstring."""
+    lib = CommunicationLibrary("multichip-board")
+    lib.add_link(
+        Link("pcb-trace", bandwidth=Gbps(8), max_length=trace_reach_cm,
+             cost_fixed=0.8, cost_per_unit=trace_cost_per_cm)
+    )
+    lib.add_link(
+        Link("serdes-lane", bandwidth=Gbps(112), max_length=80.0,
+             cost_fixed=serdes_fixed, cost_per_unit=serdes_cost_per_cm)
+    )
+    lib.add_node(NodeSpec("retimer", NodeKind.REPEATER, cost=retimer_cost))
+    lib.add_node(
+        NodeSpec("crossbar", NodeKind.SWITCH, cost=crossbar_cost, max_degree=crossbar_degree)
+    )
+    return lib
+
+
+def multichip_constraint_graph() -> ConstraintGraph:
+    """A six-blade backplane (60 x 40 cm): blades b0..b5 on the left
+    edge, the switch/memory hub on the right, management controller in
+    a corner.  Channels: per-blade uplink (6 Gbps) and, for the upper
+    and lower blade pairs, a downlink (4 Gbps); plus two management
+    channels."""
+    graph = ConstraintGraph(norm=EUCLIDEAN, name="multichip-backplane")
+    blade_y = (3.0, 10.0, 17.0, 24.0, 31.0, 38.0)
+    for i, y in enumerate(blade_y):
+        graph.add_port(f"b{i}", Point(5.0, y), module=f"blade{i}")
+    graph.add_port("hub", Point(55.0, 20.0), module="switch-hub")
+    graph.add_port("mgmt", Point(55.0, 2.0), module="management")
+
+    for i in range(6):
+        graph.add_channel(f"up{i}", f"b{i}", "hub", bandwidth=Gbps(6))
+    for i in (0, 5):
+        graph.add_channel(f"down{i}", "hub", f"b{i}", bandwidth=Gbps(4))
+    graph.add_channel("tele", "hub", "mgmt", bandwidth=Gbps(1))
+    graph.add_channel("ctl", "mgmt", "hub", bandwidth=Gbps(1))
+    return graph
+
+
+def multichip_example() -> Tuple[ConstraintGraph, CommunicationLibrary]:
+    """The complete backplane instance, ready for :func:`repro.synthesize`."""
+    return multichip_constraint_graph(), multichip_library()

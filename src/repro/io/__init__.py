@@ -1,0 +1,24 @@
+"""Serialization: JSON round-tripping and Graphviz DOT export."""
+
+from .dot import constraint_graph_to_dot, implementation_to_dot
+from .json_io import (
+    constraint_graph_from_dict,
+    constraint_graph_to_dict,
+    library_from_dict,
+    library_to_dict,
+    load_instance,
+    save_instance,
+    synthesis_result_to_dict,
+)
+
+__all__ = [
+    "constraint_graph_to_dict",
+    "constraint_graph_from_dict",
+    "library_to_dict",
+    "library_from_dict",
+    "synthesis_result_to_dict",
+    "save_instance",
+    "load_instance",
+    "constraint_graph_to_dot",
+    "implementation_to_dot",
+]

@@ -1,0 +1,56 @@
+"""Graphviz DOT export for constraint and implementation graphs.
+
+Pure text generation — no graphviz dependency.  Positions are emitted
+as ``pos="x,y!"`` pins so ``neato -n`` reproduces the geometric layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.implementation import ImplementationGraph
+
+__all__ = ["constraint_graph_to_dot", "implementation_to_dot"]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def constraint_graph_to_dot(graph: ConstraintGraph) -> str:
+    """Constraint graph as a DOT digraph, arcs labelled d/b."""
+    lines: List[str] = [f"digraph {_quote(graph.name)} {{", "  node [shape=circle];"]
+    for port in graph.ports:
+        lines.append(
+            f"  {_quote(port.name)} [pos=\"{port.position.x},{port.position.y}!\"];"
+        )
+    for arc in graph.arcs:
+        label = f"{arc.name}\\nd={arc.distance:.4g} b={arc.bandwidth:.4g}"
+        lines.append(
+            f"  {_quote(arc.source.name)} -> {_quote(arc.target.name)} "
+            f"[label=\"{label}\", style=dashed];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def implementation_to_dot(impl: ImplementationGraph) -> str:
+    """Implementation graph as DOT: computational vertices are circles,
+    communication vertices boxes; edges labelled by link type."""
+    lines: List[str] = [f"digraph {_quote(impl.name)} {{"]
+    for vertex in impl.vertices:
+        shape = "circle" if vertex.is_computational else "box"
+        extra = "" if vertex.is_computational else ", style=filled, fillcolor=orange"
+        lines.append(
+            f"  {_quote(vertex.name)} [shape={shape}{extra}, "
+            f"pos=\"{vertex.position.x},{vertex.position.y}!\"];"
+        )
+    for arc in impl.arcs:
+        lines.append(
+            f"  {_quote(arc.source)} -> {_quote(arc.target)} "
+            f"[label=\"{arc.link.name}\"];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

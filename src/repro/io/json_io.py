@@ -1,0 +1,161 @@
+"""JSON (de)serialization of constraint graphs, libraries and results.
+
+The on-disk format is deliberately plain — dicts of primitives — so
+instances can be produced by other tools (floorplanners, traffic
+profilers) without importing this package.  ``math.inf`` link lengths
+serialize as the string ``"inf"``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.geometry import Point, norm_by_name
+from ..core.library import CommunicationLibrary, Link, NodeKind, NodeSpec
+from ..core.synthesis import SynthesisResult
+
+__all__ = [
+    "constraint_graph_to_dict",
+    "constraint_graph_from_dict",
+    "library_to_dict",
+    "library_from_dict",
+    "synthesis_result_to_dict",
+    "save_instance",
+    "load_instance",
+]
+
+
+def constraint_graph_to_dict(graph: ConstraintGraph) -> Dict[str, Any]:
+    """Plain-dict form of a constraint graph."""
+    return {
+        "name": graph.name,
+        "norm": graph.norm.name,
+        "ports": [
+            {"name": p.name, "x": p.position.x, "y": p.position.y, "module": p.module}
+            for p in graph.ports
+        ],
+        "arcs": [
+            {
+                "name": a.name,
+                "source": a.source.name,
+                "target": a.target.name,
+                "bandwidth": a.bandwidth,
+                "distance": a.distance,
+            }
+            for a in graph.arcs
+        ],
+    }
+
+
+def constraint_graph_from_dict(data: Dict[str, Any]) -> ConstraintGraph:
+    """Inverse of :func:`constraint_graph_to_dict` (lengths re-checked)."""
+    graph = ConstraintGraph(norm=norm_by_name(data["norm"]), name=data.get("name", "graph"))
+    for p in data["ports"]:
+        graph.add_port(p["name"], Point(p["x"], p["y"]), module=p.get("module"))
+    for a in data["arcs"]:
+        graph.add_channel(
+            a["name"], a["source"], a["target"],
+            bandwidth=a["bandwidth"], distance=a.get("distance"),
+        )
+    return graph
+
+
+def _encode_length(value: float) -> Union[float, str]:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_length(value: Union[float, str]) -> float:
+    return math.inf if value == "inf" else float(value)
+
+
+def library_to_dict(library: CommunicationLibrary) -> Dict[str, Any]:
+    """Plain-dict form of a communication library."""
+    return {
+        "name": library.name,
+        "links": [
+            {
+                "name": l.name,
+                "bandwidth": l.bandwidth,
+                "max_length": _encode_length(l.max_length),
+                "cost_fixed": l.cost_fixed,
+                "cost_per_unit": l.cost_per_unit,
+            }
+            for l in library.links
+        ],
+        "nodes": [
+            {
+                "name": n.name,
+                "kind": n.kind.value,
+                "cost": n.cost,
+                "max_degree": n.max_degree,
+            }
+            for n in library.nodes
+        ],
+    }
+
+
+def library_from_dict(data: Dict[str, Any]) -> CommunicationLibrary:
+    """Inverse of :func:`library_to_dict`."""
+    lib = CommunicationLibrary(data.get("name", "library"))
+    for l in data["links"]:
+        lib.add_link(
+            Link(
+                name=l["name"],
+                bandwidth=l["bandwidth"],
+                max_length=_decode_length(l["max_length"]),
+                cost_fixed=l.get("cost_fixed", 0.0),
+                cost_per_unit=l.get("cost_per_unit", 0.0),
+            )
+        )
+    for n in data["nodes"]:
+        lib.add_node(
+            NodeSpec(
+                name=n["name"],
+                kind=NodeKind(n["kind"]),
+                cost=n.get("cost", 0.0),
+                max_degree=n.get("max_degree"),
+            )
+        )
+    return lib
+
+
+def synthesis_result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
+    """A JSON-safe summary of a synthesis run (no graph objects)."""
+    impl = result.implementation
+    return {
+        "total_cost": result.total_cost,
+        "point_to_point_cost": result.point_to_point_cost,
+        "savings_ratio": result.savings_ratio,
+        "selected": [
+            {"arcs": list(c.arc_names), "cost": c.cost, "merging": c.is_merging}
+            for c in result.selected
+        ],
+        "candidate_counts": dict(result.candidates.stats.survivors_by_k),
+        "communication_vertices": len(impl.communication_vertices),
+        "link_instances": len(impl.arcs),
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def save_instance(
+    path: Union[str, Path], graph: ConstraintGraph, library: CommunicationLibrary
+) -> None:
+    """Write a (graph, library) instance to one JSON file."""
+    payload = {
+        "constraint_graph": constraint_graph_to_dict(graph),
+        "library": library_to_dict(library),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_instance(path: Union[str, Path]) -> Tuple[ConstraintGraph, CommunicationLibrary]:
+    """Read a (graph, library) instance written by :func:`save_instance`."""
+    payload = json.loads(Path(path).read_text())
+    return (
+        constraint_graph_from_dict(payload["constraint_graph"]),
+        library_from_dict(payload["library"]),
+    )

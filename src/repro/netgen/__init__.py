@@ -1,0 +1,34 @@
+"""Synthetic constraint-graph generators for benchmarks and tests.
+
+All generators are seeded and deterministic.  The clustered generator
+mirrors the paper's WAN structure (tight clusters separated by large
+gaps — the regime where merging wins); the uniform generator gives the
+opposite regime (merging rarely helps); the parametric topologies
+(parallel channels, star, hub pairs) isolate single effects.
+"""
+
+from .floorplans import grid_floorplan, hotspot_traffic, pipeline_traffic, uniform_traffic
+from .libraries import random_library, two_tier_library
+from .random_graphs import (
+    clustered_graph,
+    mesh_graph,
+    parallel_channels_graph,
+    ring_graph,
+    star_graph,
+    uniform_graph,
+)
+
+__all__ = [
+    "clustered_graph",
+    "uniform_graph",
+    "star_graph",
+    "parallel_channels_graph",
+    "two_tier_library",
+    "random_library",
+    "grid_floorplan",
+    "hotspot_traffic",
+    "pipeline_traffic",
+    "uniform_traffic",
+    "ring_graph",
+    "mesh_graph",
+]

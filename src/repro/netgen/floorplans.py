@@ -1,0 +1,133 @@
+"""Synthetic SoC floorplans and on-chip traffic patterns.
+
+Generates constraint graphs in the paper's Example 2 setting — modules
+placed on a die, Manhattan norm, channels from a traffic pattern —
+without requiring a real netlist.  Three classic patterns:
+
+- **hotspot** — every core talks to one memory controller (and back
+  for a fraction of cores): the regime where merging shines, because
+  many channels share the controller as a common endpoint;
+- **pipeline** — cores in a processing chain, each stage feeding the
+  next: almost nothing merges (channels are disjoint in space);
+- **uniform random** — each core picks random peers.
+
+Module placement is a jittered grid over the die: deterministic per
+seed, no overlapping positions, aspect ratio close to one.  Bandwidths
+are drawn log-uniform between ``bw_range`` (bit/s).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.exceptions import ModelError
+from ..core.geometry import MANHATTAN, Point
+
+__all__ = ["grid_floorplan", "hotspot_traffic", "pipeline_traffic", "uniform_traffic"]
+
+
+def grid_floorplan(
+    n_modules: int,
+    die_mm: Tuple[float, float] = (6.0, 6.0),
+    jitter: float = 0.15,
+    seed: int = 0,
+    name: str = "soc-floorplan",
+) -> ConstraintGraph:
+    """Place ``n_modules`` on a jittered grid over a ``die_mm`` die.
+
+    Returns a Manhattan-norm constraint graph with ports named
+    ``m0..m{n-1}`` and *no channels yet* — feed it to one of the
+    traffic generators.  ``jitter`` is the fraction of the cell pitch
+    modules may wander from their grid slot.
+    """
+    if n_modules < 2:
+        raise ModelError("need at least two modules")
+    if not (0 <= jitter < 0.5):
+        raise ModelError("jitter must be in [0, 0.5) to keep modules distinct")
+
+    rng = np.random.default_rng(seed)
+    cols = int(math.ceil(math.sqrt(n_modules)))
+    rows = int(math.ceil(n_modules / cols))
+    w, h = die_mm
+    pitch_x = w / cols
+    pitch_y = h / rows
+
+    graph = ConstraintGraph(norm=MANHATTAN, name=f"{name}-s{seed}")
+    for i in range(n_modules):
+        r, c = divmod(i, cols)
+        x = (c + 0.5) * pitch_x + float(rng.uniform(-jitter, jitter)) * pitch_x
+        y = (r + 0.5) * pitch_y + float(rng.uniform(-jitter, jitter)) * pitch_y
+        graph.add_port(f"m{i}", Point(x, y), module=f"m{i}")
+    return graph
+
+
+def _draw_bandwidth(rng: np.random.Generator, bw_range: Tuple[float, float]) -> float:
+    lo, hi = bw_range
+    if lo <= 0 or hi < lo:
+        raise ModelError(f"invalid bandwidth range {bw_range}")
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def hotspot_traffic(
+    graph: ConstraintGraph,
+    hotspot: str = "m0",
+    reply_fraction: float = 0.5,
+    bw_range: Tuple[float, float] = (1e8, 2e9),
+    seed: int = 0,
+) -> ConstraintGraph:
+    """Every other module sends to ``hotspot``; a ``reply_fraction`` of
+    them also receive a return channel.  Mutates and returns ``graph``."""
+    rng = np.random.default_rng(seed)
+    others = [p.name for p in graph.ports if p.name != hotspot]
+    if not others:
+        raise ModelError("hotspot pattern needs at least one non-hotspot module")
+    idx = 0
+    for m in others:
+        idx += 1
+        graph.add_channel(f"h{idx}", m, hotspot, bandwidth=_draw_bandwidth(rng, bw_range))
+        if rng.uniform() < reply_fraction:
+            idx += 1
+            graph.add_channel(f"h{idx}", hotspot, m, bandwidth=_draw_bandwidth(rng, bw_range))
+    return graph
+
+
+def pipeline_traffic(
+    graph: ConstraintGraph,
+    bw_range: Tuple[float, float] = (1e8, 2e9),
+    seed: int = 0,
+) -> ConstraintGraph:
+    """Stage i feeds stage i+1 in module order.  Mutates and returns."""
+    rng = np.random.default_rng(seed)
+    names = [p.name for p in graph.ports]
+    for i, (a, b) in enumerate(zip(names, names[1:]), start=1):
+        graph.add_channel(f"p{i}", a, b, bandwidth=_draw_bandwidth(rng, bw_range))
+    return graph
+
+
+def uniform_traffic(
+    graph: ConstraintGraph,
+    n_channels: int,
+    bw_range: Tuple[float, float] = (1e8, 2e9),
+    seed: int = 0,
+) -> ConstraintGraph:
+    """``n_channels`` random distinct directed channels.  Mutates and
+    returns ``graph``."""
+    rng = np.random.default_rng(seed)
+    names = [p.name for p in graph.ports]
+    max_pairs = len(names) * (len(names) - 1)
+    if n_channels > max_pairs:
+        raise ModelError(f"cannot place {n_channels} distinct channels over {len(names)} modules")
+    seen = set()
+    i = 0
+    while i < n_channels:
+        a, b = rng.choice(len(names), size=2, replace=False)
+        if (a, b) in seen:
+            continue
+        seen.add((a, b))
+        i += 1
+        graph.add_channel(f"u{i}", names[a], names[b], bandwidth=_draw_bandwidth(rng, bw_range))
+    return graph

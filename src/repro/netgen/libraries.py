@@ -1,0 +1,68 @@
+"""Parametric communication-library generators.
+
+:func:`two_tier_library` captures the essential economics of the
+paper's Example 1 — a cheap slow family and an expensive fast family —
+with the cost ratio as the sweep axis: merging k channels pays exactly
+when ``fast_cost_per_unit < k * slow_cost_per_unit`` (plus node
+costs), so sweeping the ratio moves the merge/no-merge crossover.
+
+:func:`random_library` draws Assumption-2.1-compliant libraries for
+property-based tests (bandwidth and per-unit cost co-monotone, so
+cheaper never means faster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.library import CommunicationLibrary, Link, NodeKind, NodeSpec
+
+__all__ = ["two_tier_library", "random_library"]
+
+
+def two_tier_library(
+    slow_bandwidth: float = 11.0,
+    fast_bandwidth: float = 1000.0,
+    slow_cost_per_unit: float = 2.0,
+    fast_cost_per_unit: float = 4.0,
+    mux_cost: float = 0.0,
+    demux_cost: float = 0.0,
+    repeater_cost: float = 0.0,
+    name: str = "two-tier",
+) -> CommunicationLibrary:
+    """A WAN-style two-family library with configurable economics."""
+    lib = CommunicationLibrary(name)
+    lib.add_link(Link("slow", bandwidth=slow_bandwidth, cost_per_unit=slow_cost_per_unit))
+    lib.add_link(Link("fast", bandwidth=fast_bandwidth, cost_per_unit=fast_cost_per_unit))
+    lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=mux_cost))
+    lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=demux_cost))
+    lib.add_node(NodeSpec("repeater", NodeKind.REPEATER, cost=repeater_cost))
+    return lib
+
+
+def random_library(
+    n_links: int = 3,
+    seed: int = 0,
+    max_bandwidth: float = 1000.0,
+    max_cost_per_unit: float = 10.0,
+    with_nodes: bool = True,
+) -> CommunicationLibrary:
+    """A random per-unit-priced library satisfying Assumption 2.1.
+
+    Bandwidths and per-unit costs are drawn, then *sorted together* so
+    a faster link is never cheaper per unit — which makes the optimum
+    point-to-point cost monotone in (d, b) as the assumption requires.
+    """
+    rng = np.random.default_rng(seed)
+    bandwidths = np.sort(rng.uniform(1.0, max_bandwidth, size=n_links))
+    costs = np.sort(rng.uniform(0.1, max_cost_per_unit, size=n_links))
+    lib = CommunicationLibrary(f"random-lib-s{seed}")
+    for i, (bw, cu) in enumerate(zip(bandwidths, costs)):
+        lib.add_link(Link(f"link{i}", bandwidth=float(bw), cost_per_unit=float(cu)))
+    if with_nodes:
+        lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=float(rng.uniform(0, 5))))
+        lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=float(rng.uniform(0, 5))))
+        lib.add_node(NodeSpec("repeater", NodeKind.REPEATER, cost=float(rng.uniform(0, 2))))
+    return lib

@@ -1,0 +1,215 @@
+"""Random and parametric constraint-graph generators (seeded).
+
+Distances are abstract units; bandwidths default to a narrow range so
+the geometric pruning (not Theorem 3.2) dominates, matching the
+paper's WAN example — pass a wide ``bandwidth_range`` to exercise the
+bandwidth lemma instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.exceptions import ModelError
+from ..core.geometry import EUCLIDEAN, Norm, Point
+
+__all__ = [
+    "clustered_graph",
+    "uniform_graph",
+    "star_graph",
+    "parallel_channels_graph",
+    "ring_graph",
+    "mesh_graph",
+]
+
+
+def _add_random_arcs(
+    graph: ConstraintGraph,
+    rng: np.random.Generator,
+    n_arcs: int,
+    bandwidth_range: Tuple[float, float],
+) -> None:
+    """Attach ``n_arcs`` distinct random directed arcs to ``graph``."""
+    ports = [p.name for p in graph.ports]
+    if len(ports) < 2:
+        raise ModelError("need at least two ports to draw arcs")
+    max_pairs = len(ports) * (len(ports) - 1)
+    if n_arcs > max_pairs:
+        raise ModelError(f"cannot place {n_arcs} distinct arcs over {len(ports)} ports")
+    lo, hi = bandwidth_range
+    seen = set()
+    i = 0
+    while i < n_arcs:
+        u, v = rng.choice(len(ports), size=2, replace=False)
+        if (u, v) in seen:
+            continue
+        seen.add((u, v))
+        bw = float(rng.uniform(lo, hi))
+        graph.add_channel(f"a{i + 1}", ports[u], ports[v], bandwidth=bw)
+        i += 1
+
+
+def clustered_graph(
+    n_clusters: int = 2,
+    ports_per_cluster: int = 3,
+    n_arcs: int = 8,
+    cluster_spread: float = 5.0,
+    separation: float = 100.0,
+    bandwidth_range: Tuple[float, float] = (10.0, 10.0),
+    seed: int = 0,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """Tight clusters far apart — the paper's WAN regime.
+
+    Cluster centers sit on a circle of radius ``separation``; ports
+    scatter uniformly within ``cluster_spread`` of their center.
+    """
+    rng = np.random.default_rng(seed)
+    graph = ConstraintGraph(norm=norm, name=f"clustered-{n_clusters}x{ports_per_cluster}-s{seed}")
+    for c in range(n_clusters):
+        angle = 2 * np.pi * c / n_clusters
+        cx = separation * np.cos(angle)
+        cy = separation * np.sin(angle)
+        for p in range(ports_per_cluster):
+            x = cx + rng.uniform(-cluster_spread, cluster_spread)
+            y = cy + rng.uniform(-cluster_spread, cluster_spread)
+            graph.add_port(f"c{c}p{p}", Point(float(x), float(y)), module=f"cluster{c}")
+    _add_random_arcs(graph, rng, n_arcs, bandwidth_range)
+    return graph
+
+
+def uniform_graph(
+    n_ports: int = 8,
+    n_arcs: int = 10,
+    extent: float = 100.0,
+    bandwidth_range: Tuple[float, float] = (10.0, 10.0),
+    seed: int = 0,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """Ports scattered uniformly — merging rarely pays here."""
+    rng = np.random.default_rng(seed)
+    graph = ConstraintGraph(norm=norm, name=f"uniform-{n_ports}-s{seed}")
+    for p in range(n_ports):
+        graph.add_port(
+            f"p{p}",
+            Point(float(rng.uniform(0, extent)), float(rng.uniform(0, extent))),
+        )
+    _add_random_arcs(graph, rng, n_arcs, bandwidth_range)
+    return graph
+
+
+def star_graph(
+    n_leaves: int = 6,
+    radius: float = 50.0,
+    bandwidth: float = 10.0,
+    inbound: bool = True,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """Leaves on a circle all talking to (or from) a central port.
+
+    With ``inbound`` every leaf sends to the center — the all-share-one-
+    sink shape where the demux degenerates onto the hub, like the
+    paper's a4/a5/a6 group.
+    """
+    graph = ConstraintGraph(norm=norm, name=f"star-{n_leaves}")
+    graph.add_port("hub", Point(0.0, 0.0), module="hub")
+    for i in range(n_leaves):
+        angle = 2 * np.pi * i / n_leaves
+        graph.add_port(
+            f"leaf{i}", Point(radius * float(np.cos(angle)), radius * float(np.sin(angle)))
+        )
+        if inbound:
+            graph.add_channel(f"a{i + 1}", f"leaf{i}", "hub", bandwidth=bandwidth)
+        else:
+            graph.add_channel(f"a{i + 1}", "hub", f"leaf{i}", bandwidth=bandwidth)
+    return graph
+
+
+def ring_graph(
+    n_nodes: int = 6,
+    radius: float = 50.0,
+    bandwidth: float = 10.0,
+    bidirectional: bool = False,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """Nodes on a circle, each talking to its clockwise neighbour.
+
+    A classic NoC topology input; neighbouring channels share endpoints
+    so 2-way mergings exist geometrically, but the ring's rotational
+    symmetry makes larger mergings detours — a good stress shape for
+    the pruning lemmas.  ``bidirectional`` adds the counter-rotating
+    channels.
+    """
+    if n_nodes < 3:
+        raise ModelError("a ring needs at least three nodes")
+    graph = ConstraintGraph(norm=norm, name=f"ring-{n_nodes}")
+    for i in range(n_nodes):
+        angle = 2 * np.pi * i / n_nodes
+        graph.add_port(
+            f"n{i}", Point(radius * float(np.cos(angle)), radius * float(np.sin(angle)))
+        )
+    idx = 0
+    for i in range(n_nodes):
+        j = (i + 1) % n_nodes
+        idx += 1
+        graph.add_channel(f"cw{idx}", f"n{i}", f"n{j}", bandwidth=bandwidth)
+    if bidirectional:
+        for i in range(n_nodes):
+            j = (i + 1) % n_nodes
+            idx += 1
+            graph.add_channel(f"ccw{idx}", f"n{j}", f"n{i}", bandwidth=bandwidth)
+    return graph
+
+
+def mesh_graph(
+    rows: int = 3,
+    cols: int = 3,
+    pitch: float = 10.0,
+    bandwidth: float = 10.0,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """A rows x cols grid with east- and north-bound neighbour channels.
+
+    The standard mesh-NoC traffic skeleton: every node sends to its
+    right and upper neighbour (where they exist).
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ModelError("mesh needs at least two nodes")
+    graph = ConstraintGraph(norm=norm, name=f"mesh-{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_port(f"n{r}_{c}", Point(c * pitch, r * pitch))
+    idx = 0
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                idx += 1
+                graph.add_channel(f"e{idx}", f"n{r}_{c}", f"n{r}_{c + 1}", bandwidth=bandwidth)
+            if r + 1 < rows:
+                idx += 1
+                graph.add_channel(f"n{idx}", f"n{r}_{c}", f"n{r + 1}_{c}", bandwidth=bandwidth)
+    return graph
+
+
+def parallel_channels_graph(
+    k: int = 3,
+    distance: float = 100.0,
+    bandwidth: float = 10.0,
+    pitch: float = 1.0,
+    norm: Norm = EUCLIDEAN,
+) -> ConstraintGraph:
+    """``k`` parallel same-direction channels between two port columns.
+
+    The minimal merging testbed: all sources nearly coincide, all sinks
+    nearly coincide, so a K-way merge costs one trunk versus k
+    dedicated links.  ``pitch`` is the vertical spacing between
+    adjacent ports (ports must be distinct)."""
+    graph = ConstraintGraph(norm=norm, name=f"parallel-{k}")
+    for i in range(k):
+        graph.add_port(f"src{i}", Point(0.0, i * pitch), module="left")
+        graph.add_port(f"dst{i}", Point(distance, i * pitch), module="right")
+        graph.add_channel(f"a{i + 1}", f"src{i}", f"dst{i}", bandwidth=bandwidth)
+    return graph

@@ -1,0 +1,27 @@
+"""Performance-validation substrate: dynamic flow simulation.
+
+The paper's related work ([6] Knudsen–Madsen, [7] Lahiri et al.)
+validates candidate communication architectures with fast performance
+simulation; the constraint-driven approach replaces that loop with an
+exact algorithm.  This package closes the circle: a deterministic
+fluid-flow simulator that *dynamically* checks a synthesized
+implementation graph — sources inject traffic at the demanded rates,
+links forward at most their bandwidth per unit time sharing capacity
+proportionally, and queues reveal any under-provisioned trunk.  A
+correct synthesis sustains every demand with bounded queues; an
+oversubscribed architecture shows linear queue growth and throughput
+collapse on the starved channels.
+"""
+
+from .fluid import ChannelStats, LinkStats, SimulationResult, simulate
+from .packets import PacketChannelStats, PacketSimResult, simulate_packets
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "ChannelStats",
+    "LinkStats",
+    "simulate_packets",
+    "PacketSimResult",
+    "PacketChannelStats",
+]

@@ -1,0 +1,111 @@
+"""Unit tests for repro.analysis — reports, stats, SVG rendering."""
+
+import pytest
+
+from repro import compute_matrices, synthesize
+from repro.analysis import (
+    cost_breakdown,
+    crossover_point,
+    format_delta_table,
+    format_gamma_table,
+    render_constraint_graph_svg,
+    render_implementation_svg,
+    summarize_runs,
+    synthesis_report,
+)
+from repro.analysis.report import candidate_count_summary, truncate
+
+
+class TestTruncate:
+    def test_truncates_not_rounds(self):
+        assert truncate(10.3852) == "10.38"
+        assert truncate(10.389) == "10.38"
+
+    def test_pads_decimals(self):
+        assert truncate(5.0) == "5.00"
+
+    def test_custom_decimals(self):
+        assert truncate(3.14159, 3) == "3.141"
+
+
+class TestMatrixTables:
+    def test_gamma_table_contains_paper_values(self, wan_graph):
+        table = format_gamma_table(compute_matrices(wan_graph))
+        assert "10.38" in table  # Γ(a1, a2)
+        assert "197.20" in table  # Γ(a4, a5)
+        assert "7.21" in table  # Γ(a7, a8)
+
+    def test_delta_table_contains_paper_values(self, wan_graph):
+        table = format_delta_table(compute_matrices(wan_graph))
+        assert "100.00" in table  # Δ(a4, a7)
+        assert "200.09" in table  # Δ(a1, a7)
+
+    def test_lower_triangle_blank(self, wan_graph):
+        table = format_gamma_table(compute_matrices(wan_graph))
+        last_line = table.splitlines()[-1]
+        assert last_line.strip() == "a8"
+
+    def test_unknown_matrix_rejected(self, wan_graph):
+        from repro.analysis.report import format_matrix_table
+
+        with pytest.raises(ValueError):
+            format_matrix_table(compute_matrices(wan_graph), "sigma")
+
+
+class TestSynthesisReport:
+    @pytest.fixture(scope="class")
+    def result(self, wan_graph, wan_lib):
+        return synthesize(wan_graph, wan_lib)
+
+    def test_report_mentions_key_facts(self, result):
+        text = synthesis_report(result, title="WAN")
+        assert "merge(a4+a5+a6)" in text
+        assert "13 2-way" in text
+        assert "savings" in text
+
+    def test_candidate_count_summary_format(self, result):
+        line = candidate_count_summary(result.candidates)
+        assert line.startswith("8 point-to-point, 13 2-way")
+
+
+class TestStats:
+    def test_cost_breakdown_sums(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib)
+        b = cost_breakdown(r.implementation)
+        assert b["__total__"] == pytest.approx(r.total_cost)
+        assert b["__links__"] + b["__nodes__"] == pytest.approx(b["__total__"])
+        assert b["link:radio"] > 0 and b["link:optical"] > 0
+
+    def test_summarize_runs(self):
+        s = summarize_runs([1.0, 2.0, 3.0])
+        assert s["mean"] == 2.0 and s["min"] == 1.0 and s["median"] == 2.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_crossover_found(self):
+        x = crossover_point([1, 2, 3, 4], [1, 2, 3, 4], [4, 3, 2, 1])
+        assert x == pytest.approx(2.5)
+
+    def test_no_crossover(self):
+        assert crossover_point([1, 2], [1, 1], [5, 5]) is None
+
+    def test_crossover_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossover_point([1], [1, 2], [2, 1])
+
+
+class TestSvg:
+    def test_constraint_graph_svg(self, wan_graph):
+        svg = render_constraint_graph_svg(wan_graph)
+        assert svg.startswith("<svg")
+        assert svg.count("<line") == 8  # one per arc
+        assert ">A<" in svg and ">E<" in svg
+
+    def test_implementation_svg(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib)
+        svg = render_implementation_svg(r.implementation)
+        assert svg.startswith("<svg")
+        assert "radio" in svg and "optical" in svg  # legend
+        assert "<rect" in svg  # communication vertices / legend swatches

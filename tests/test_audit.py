@@ -1,0 +1,70 @@
+"""Tests for the independent result auditor."""
+
+import pytest
+
+from repro import SynthesisOptions, audit_result, synthesize
+from repro.core.exceptions import SynthesisError
+from repro.domains import multichip_example, soc_example, wan_example
+
+
+class TestCleanResults:
+    def test_wan_passes_every_check(self):
+        graph, library = wan_example()
+        result = synthesize(graph, library)
+        report = audit_result(result, graph, library)
+        assert report.ok, report.findings
+        # all four checks ran (8 arcs > exhaustive limit 7 -> 3 checks)
+        assert "definition-2.4-validation" in report.checks_run
+        assert "covering-ilp-crosscheck" in report.checks_run
+
+    def test_soc_passes_with_exhaustive(self):
+        graph, library = soc_example()  # 5 arcs: exhaustive check runs
+        result = synthesize(graph, library, SynthesisOptions(max_arity=3))
+        report = audit_result(result, graph, library)
+        assert report.ok, report.findings
+        assert "exhaustive-partition-crosscheck" in report.checks_run
+
+    def test_multichip_passes(self):
+        graph, library = multichip_example()
+        result = synthesize(graph, library, SynthesisOptions(max_arity=3))
+        report = audit_result(result, graph, library, allow_exhaustive=False)
+        assert report.ok, report.findings
+
+    def test_penalized_objective_still_audits(self):
+        graph, library = wan_example()
+        result = synthesize(graph, library, SynthesisOptions(hop_penalty=1000.0))
+        report = audit_result(result, graph, library)
+        assert report.ok, report.findings
+
+
+class TestTamperedResults:
+    def test_tampered_candidate_cost_detected(self):
+        from dataclasses import replace
+
+        graph, library = wan_example()
+        result = synthesize(graph, library)
+        # forge a cheaper plan cost on one selected candidate
+        victim = result.selected[0]
+        forged_plan = replace(victim.plan, cost=victim.plan.cost * 0.5) \
+            if hasattr(victim.plan, "cost") and hasattr(victim.plan, "__dataclass_fields__") \
+            else victim.plan
+        result.selected[0] = type(victim)(
+            arc_names=victim.arc_names, cost=victim.cost * 0.5, plan=forged_plan
+        )
+        report = audit_result(result, graph, library)
+        assert not report.ok
+        assert any("claimed cost" in f or "cost" in f for f in report.findings)
+
+    def test_strict_mode_raises(self):
+        from dataclasses import replace
+
+        graph, library = wan_example()
+        result = synthesize(graph, library)
+        victim = result.selected[0]
+        result.selected[0] = type(victim)(
+            arc_names=victim.arc_names,
+            cost=victim.cost,
+            plan=replace(victim.plan, cost=victim.plan.cost * 0.25),
+        )
+        with pytest.raises(SynthesisError, match="audit failed"):
+            audit_result(result, graph, library, strict=True)

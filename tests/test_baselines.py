@@ -1,0 +1,116 @@
+"""Unit tests for repro.baselines — the comparison strategies."""
+
+import pytest
+
+from repro import synthesize
+from repro.baselines import (
+    exhaustive_synthesis,
+    fixed_hub_synthesis,
+    greedy_synthesis,
+    point_to_point_baseline,
+)
+from repro.baselines.fixed_topology import kmeans_hubs
+from repro.core.exceptions import SynthesisError
+from repro.netgen import parallel_channels_graph, two_tier_library
+
+
+class TestPointToPointBaseline:
+    def test_wan_cost_is_radio_wirelength(self, wan_graph, wan_lib):
+        b = point_to_point_baseline(wan_graph, wan_lib)
+        assert b.total_cost == pytest.approx(2000.0 * wan_graph.total_wirelength(), rel=1e-9)
+
+    def test_validates(self, wan_graph, wan_lib):
+        b = point_to_point_baseline(wan_graph, wan_lib)  # check=True inside
+        assert b.strategy == "point-to-point"
+        assert set(b.plans) == {a.name for a in wan_graph.arcs}
+
+    def test_equals_candidate_sum(self, wan_graph, wan_lib):
+        b = point_to_point_baseline(wan_graph, wan_lib)
+        r = synthesize(wan_graph, wan_lib)
+        assert b.total_cost == pytest.approx(r.point_to_point_cost)
+
+
+class TestGreedy:
+    def test_stalls_on_wan(self, wan_graph, wan_lib):
+        """No pairwise merge saves on the WAN instance, so greedy pairwise
+        improvement never reaches the profitable 3-way merge — the
+        paper's local-minimum story in one assertion."""
+        g = greedy_synthesis(wan_graph, wan_lib)
+        exact = synthesize(wan_graph, wan_lib)
+        assert g.total_cost == pytest.approx(644935.0, rel=1e-4)  # stuck at p2p
+        assert exact.total_cost < g.total_cost * 0.75
+
+    def test_finds_obvious_merge(self):
+        graph = parallel_channels_graph(k=2, distance=100.0, pitch=1.0)
+        lib = two_tier_library(fast_cost_per_unit=3.0)
+        g = greedy_synthesis(graph, lib)
+        exact = synthesize(graph, lib)
+        assert g.total_cost == pytest.approx(exact.total_cost, rel=1e-6)
+
+    def test_never_beats_exact(self, wan_graph, wan_lib):
+        g = greedy_synthesis(wan_graph, wan_lib, max_group=3)
+        exact = synthesize(wan_graph, wan_lib)
+        assert g.total_cost >= exact.total_cost - 1e-9
+
+
+class TestExhaustive:
+    def test_matches_exact_on_wan(self, wan_graph, wan_lib):
+        ex = exhaustive_synthesis(wan_graph, wan_lib)
+        exact = synthesize(wan_graph, wan_lib)
+        assert ex.total_cost == pytest.approx(exact.total_cost, rel=1e-6)
+
+    def test_cap_enforced(self, wan_lib):
+        from repro.netgen import uniform_graph
+
+        big = uniform_graph(n_ports=12, n_arcs=10, seed=1)
+        # 10 arcs > 9-arc cap
+        with pytest.raises(SynthesisError, match="capped"):
+            exhaustive_synthesis(big, wan_lib)
+
+    def test_partitions_count(self):
+        from repro.baselines.exhaustive import partitions
+
+        # Bell numbers: B(3) = 5, B(4) = 15
+        assert len(list(partitions(["a", "b", "c"]))) == 5
+        assert len(list(partitions(["a", "b", "c", "d"]))) == 15
+
+    def test_partitions_cover_exactly(self):
+        from repro.baselines.exhaustive import partitions
+
+        for part in partitions(["a", "b", "c"]):
+            flat = sorted(x for block in part for x in block)
+            assert flat == ["a", "b", "c"]
+
+
+class TestFixedHub:
+    def test_kmeans_produces_k_hubs(self, wan_graph):
+        hubs = kmeans_hubs(wan_graph, k=2, seed=0)
+        assert len(hubs) == 2
+
+    def test_kmeans_validates_k(self, wan_graph):
+        with pytest.raises(SynthesisError):
+            kmeans_hubs(wan_graph, k=0)
+        with pytest.raises(SynthesisError):
+            kmeans_hubs(wan_graph, k=99)
+
+    def test_fixed_hub_worse_than_exact(self, wan_graph, wan_lib):
+        """The value of synthesizing node locations: forcing hub detours
+        can only cost more."""
+        fh = fixed_hub_synthesis(wan_graph, wan_lib, n_hubs=2)
+        exact = synthesize(wan_graph, wan_lib)
+        assert fh.total_cost >= exact.total_cost
+
+    def test_per_arc_costs_sum(self, wan_graph, wan_lib):
+        fh = fixed_hub_synthesis(wan_graph, wan_lib, n_hubs=2)
+        # node costs are zero in the WAN library
+        assert fh.total_cost == pytest.approx(sum(fh.per_arc_cost.values()))
+
+    def test_explicit_hubs_respected(self, wan_graph, wan_lib):
+        from repro import Point
+
+        fh = fixed_hub_synthesis(wan_graph, wan_lib, hubs=[Point(0, 0), Point(0, -100)])
+        assert len(fh.hubs) == 2
+
+    def test_empty_hub_list_rejected(self, wan_graph, wan_lib):
+        with pytest.raises(SynthesisError):
+            fixed_hub_synthesis(wan_graph, wan_lib, hubs=[])

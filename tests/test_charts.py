@@ -1,0 +1,76 @@
+"""Tests for the SVG chart helpers."""
+
+import pytest
+
+from repro.analysis import render_pareto_svg, render_sweep_svg
+from repro.analysis.charts import _fmt, _nice_ticks
+from repro.analysis.pareto import ParetoPoint
+
+
+class TestTicks:
+    def test_covering_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 + 1e-9 and ticks[-1] >= 10.0 - 1e-9
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 97.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform spacing
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0) == [5.0]
+
+    def test_fmt(self):
+        assert _fmt(0) == "0"
+        assert _fmt(12.5) == "12.5"
+        assert "e" in _fmt(123456.0)
+
+
+class TestSweepSvg:
+    def test_basic_render(self):
+        svg = render_sweep_svg(
+            xs=[1, 2, 3],
+            series={"exact": [10.0, 8.0, 7.5], "greedy": [10.0, 10.0, 10.0]},
+            x_label="size",
+            y_label="cost",
+        )
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == 2
+        assert "exact" in svg and "greedy" in svg
+        assert "size" in svg and "cost" in svg
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            render_sweep_svg([1, 2], {"a": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep_svg([], {})
+
+    def test_constant_series_renders(self):
+        svg = render_sweep_svg([1, 2], {"flat": [5.0, 5.0]})
+        assert "<polyline" in svg
+
+
+class TestParetoSvg:
+    def _points(self):
+        return [
+            ParetoPoint(0, 0, 100.0, ()),
+            ParetoPoint(2, 2, 70.0, ()),
+            ParetoPoint(4, 3, 70.0, ()),  # dominated (same cost, more hops)
+            ParetoPoint(None, 7, 65.0, ()),
+        ]
+
+    def test_render_with_staircase(self):
+        svg = render_pareto_svg(self._points())
+        assert svg.startswith("<svg")
+        assert "<path" in svg  # the frontier staircase
+        assert svg.count("<circle") == 4
+
+    def test_single_point(self):
+        svg = render_pareto_svg([ParetoPoint(0, 1, 42.0, ())])
+        assert "<circle" in svg and "<path" not in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_pareto_svg([])

@@ -1,0 +1,141 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.domains import wan_example
+from repro.io import save_instance
+
+
+@pytest.fixture()
+def wan_file(tmp_path):
+    path = tmp_path / "wan.json"
+    save_instance(path, *wan_example())
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "x.json"])
+        assert args.pruning == "lemmas" and args.solver == "bnb"
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "nonsense"])
+
+
+class TestTables:
+    def test_tables_prints_both(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "10.38" in out and "197.20" in out
+
+
+class TestSynthesize:
+    def test_full_pipeline_with_outputs(self, wan_file, tmp_path, capsys):
+        out_json = tmp_path / "result.json"
+        out_svg = tmp_path / "impl.svg"
+        out_dot = tmp_path / "impl.dot"
+        code = main([
+            "synthesize", str(wan_file),
+            "--out", str(out_json),
+            "--svg", str(out_svg),
+            "--dot", str(out_dot),
+        ])
+        assert code == 0
+        report = capsys.readouterr().out
+        assert "merge(a4+a5+a6)" in report
+
+        summary = json.loads(out_json.read_text())
+        assert summary["total_cost"] == pytest.approx(464579.35, rel=1e-4)
+        assert out_svg.read_text().startswith("<svg")
+        assert out_dot.read_text().startswith("digraph")
+
+    def test_quiet_suppresses_report(self, wan_file, capsys):
+        assert main(["synthesize", str(wan_file), "--quiet"]) == 0
+        assert "Totals" not in capsys.readouterr().out
+
+    def test_ilp_solver_option(self, wan_file, capsys):
+        assert main(["synthesize", str(wan_file), "--solver", "ilp", "--max-arity", "3"]) == 0
+        assert "merge(a4+a5+a6)" in capsys.readouterr().out
+
+    def test_pruning_none(self, wan_file, capsys):
+        assert main(["synthesize", str(wan_file), "--pruning", "none", "--max-arity", "3"]) == 0
+        assert "merge(a4+a5+a6)" in capsys.readouterr().out
+
+
+class TestLid:
+    def test_lid_sweep_on_soc(self, tmp_path, capsys):
+        from repro.domains import soc_example
+
+        path = tmp_path / "soc.json"
+        save_instance(path, *soc_example())
+        code = main(["lid", str(path), "--l-clock", "5.0", "2.0", "--max-arity", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffers" in out and "relays" in out
+        # two sweep rows
+        assert out.count("\n") >= 5
+
+    def test_lid_custom_weights(self, tmp_path, capsys):
+        from repro.domains import soc_example
+
+        path = tmp_path / "soc.json"
+        save_instance(path, *soc_example())
+        code = main([
+            "lid", str(path), "--l-clock", "2.0",
+            "--c-buffer", "2.0", "--c-relay", "20.0", "--max-arity", "2",
+        ])
+        assert code == 0
+
+
+class TestSimulate:
+    def test_design_point_sustained(self, wan_file, capsys):
+        code = main(["simulate", str(wan_file), "--scale", "1.0", "--duration", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "True" in out
+
+    def test_overload_reported_but_exit_zero(self, wan_file, capsys):
+        # overload probes (> 1.0) are informational, not failures
+        code = main(["simulate", str(wan_file), "--scale", "1.0", "1.5", "--duration", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "False" in out  # the 1.5x row shows starvation
+
+
+class TestPareto:
+    def test_pareto_sweep_with_svg(self, wan_file, tmp_path, capsys):
+        svg_path = tmp_path / "front.svg"
+        code = main([
+            "pareto", str(wan_file), "--budgets", "0", "2",
+            "--max-arity", "3", "--svg", str(svg_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst hops" in out and "inf" in out
+        assert svg_path.read_text().startswith("<svg")
+
+
+class TestDemo:
+    def test_demo_save(self, tmp_path, capsys):
+        path = tmp_path / "soc.json"
+        assert main(["demo", "soc", "--save", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "constraint_graph" in data and "library" in data
+
+    def test_demo_synthesize(self, capsys):
+        assert main(["demo", "soc"]) == 0
+        out = capsys.readouterr().out
+        assert "Demo: soc" in out and "Totals" in out
+
+    def test_demo_wan_matches_paper(self, capsys):
+        assert main(["demo", "wan"]) == 0
+        assert "merge(a4+a5+a6)" in capsys.readouterr().out

@@ -1,0 +1,167 @@
+"""Unit tests for repro.core.constraint_graph (Definition 2.1)."""
+
+import pytest
+
+from repro import EUCLIDEAN, MANHATTAN, ConstraintGraph, ModelError, Point
+from repro.core.constraint_graph import Arc, Port
+
+
+@pytest.fixture()
+def graph():
+    g = ConstraintGraph(name="t")
+    g.add_port("A", Point(0, 0), module="modA")
+    g.add_port("B", Point(3, 4))
+    return g
+
+
+class TestPort:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            Port(name="", position=Point(0, 0))
+
+    def test_str(self):
+        assert str(Port("p", Point(0, 0))) == "p"
+
+
+class TestArcValidation:
+    def test_self_loop_rejected(self):
+        p = Port("A", Point(0, 0))
+        with pytest.raises(ModelError, match="self-loop"):
+            Arc("a", p, p, distance=0.0, bandwidth=1.0)
+
+    def test_negative_distance_rejected(self):
+        u, v = Port("A", Point(0, 0)), Port("B", Point(1, 0))
+        with pytest.raises(ModelError, match="negative distance"):
+            Arc("a", u, v, distance=-1.0, bandwidth=1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        u, v = Port("A", Point(0, 0)), Port("B", Point(1, 0))
+        with pytest.raises(ModelError, match="bandwidth"):
+            Arc("a", u, v, distance=1.0, bandwidth=0.0)
+
+    def test_endpoints_property(self):
+        u, v = Port("A", Point(0, 0)), Port("B", Point(1, 0))
+        arc = Arc("a", u, v, distance=1.0, bandwidth=1.0)
+        assert arc.endpoints == (u, v)
+
+
+class TestConstruction:
+    def test_add_channel_computes_distance(self, graph):
+        arc = graph.add_channel("a1", "A", "B", bandwidth=10.0)
+        assert arc.distance == pytest.approx(5.0)
+
+    def test_add_channel_checks_declared_distance(self, graph):
+        with pytest.raises(ModelError, match="inconsistent"):
+            graph.add_channel("a1", "A", "B", bandwidth=10.0, distance=7.0)
+
+    def test_add_channel_accepts_consistent_distance(self, graph):
+        arc = graph.add_channel("a1", "A", "B", bandwidth=10.0, distance=5.0)
+        assert arc.distance == 5.0
+
+    def test_manhattan_distance_used_when_configured(self):
+        g = ConstraintGraph(norm=MANHATTAN)
+        g.add_port("A", Point(0, 0))
+        g.add_port("B", Point(3, 4))
+        assert g.add_channel("a", "A", "B", bandwidth=1.0).distance == 7.0
+
+    def test_unknown_port_rejected(self, graph):
+        with pytest.raises(ModelError, match="unknown port"):
+            graph.add_channel("a1", "A", "Z", bandwidth=10.0)
+
+    def test_duplicate_arc_name_rejected(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=10.0)
+        with pytest.raises(ModelError, match="duplicate arc"):
+            graph.add_channel("a1", "B", "A", bandwidth=10.0)
+
+    def test_parallel_channels_allowed(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=10.0)
+        graph.add_channel("a2", "A", "B", bandwidth=20.0)
+        assert len(graph.arcs_between("A", "B")) == 2
+
+    def test_readding_identical_port_is_noop(self, graph):
+        p = graph.add_port("A", Point(0, 0), module="modA")
+        assert p.name == "A"
+        assert len(graph.ports) == 2
+
+    def test_redefining_port_position_rejected(self, graph):
+        with pytest.raises(ModelError, match="refusing to redefine"):
+            graph.add_port("A", Point(9, 9))
+
+    def test_add_arc_object(self, graph):
+        u, v = graph.port("A"), graph.port("B")
+        arc = Arc("x", u, v, distance=5.0, bandwidth=2.0)
+        graph.add_arc(arc)
+        assert graph.arc("x") is arc
+
+    def test_add_arc_registers_new_ports(self):
+        g = ConstraintGraph()
+        u = Port("P", Point(0, 0))
+        v = Port("Q", Point(6, 8))
+        g.add_arc(Arc("a", u, v, distance=10.0, bandwidth=1.0))
+        assert g.port("P") == u and g.port("Q") == v
+
+    def test_add_arc_inconsistent_length_rejected(self, graph):
+        u, v = graph.port("A"), graph.port("B")
+        with pytest.raises(ModelError, match="inconsistent"):
+            graph.add_arc(Arc("x", u, v, distance=6.0, bandwidth=2.0))
+
+
+class TestQueries:
+    def test_len_counts_arcs(self, graph):
+        assert len(graph) == 0
+        graph.add_channel("a1", "A", "B", bandwidth=1.0)
+        assert len(graph) == 1
+
+    def test_iteration_yields_arcs(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=1.0)
+        assert [a.name for a in graph] == ["a1"]
+
+    def test_contains(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=1.0)
+        assert "a1" in graph and "A" in graph and "zz" not in graph
+
+    def test_unknown_arc_lookup(self, graph):
+        with pytest.raises(ModelError, match="unknown arc"):
+            graph.arc("nope")
+
+    def test_arcs_touching(self, graph):
+        graph.add_port("C", Point(1, 1))
+        graph.add_channel("a1", "A", "B", bandwidth=1.0)
+        graph.add_channel("a2", "C", "A", bandwidth=1.0)
+        names = {a.name for a in graph.arcs_touching("A")}
+        assert names == {"a1", "a2"}
+
+    def test_distance_between_ports(self, graph):
+        assert graph.distance("A", "B") == pytest.approx(5.0)
+
+    def test_totals(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=10.0)
+        graph.add_channel("a2", "B", "A", bandwidth=30.0)
+        assert graph.total_demand() == 40.0
+        assert graph.total_wirelength() == pytest.approx(10.0)
+
+    def test_extent(self, graph):
+        lo, hi = graph.extent()
+        assert lo == Point(0, 0) and hi == Point(3, 4)
+
+    def test_to_networkx_is_copy(self, graph):
+        graph.add_channel("a1", "A", "B", bandwidth=1.0)
+        nxg = graph.to_networkx()
+        nxg.remove_edge("A", "B")
+        assert len(graph) == 1  # original untouched
+
+
+class TestSubgraph:
+    def test_projection_keeps_only_named_arcs(self, wan_graph):
+        sub = wan_graph.subgraph(["a4", "a5"])
+        assert {a.name for a in sub.arcs} == {"a4", "a5"}
+        assert {p.name for p in sub.ports} == {"A", "B", "D"}
+
+    def test_projection_preserves_properties(self, wan_graph):
+        sub = wan_graph.subgraph(["a1"])
+        assert sub.arc("a1").distance == wan_graph.arc("a1").distance
+
+
+class TestValidate:
+    def test_validate_passes_on_consistent_graph(self, wan_graph):
+        wan_graph.validate()  # should not raise

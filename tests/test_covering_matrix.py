@@ -1,0 +1,94 @@
+"""Unit tests for repro.covering.matrix."""
+
+import pytest
+
+from repro.core.exceptions import CoveringError
+from repro.covering import Column, CoveringProblem, CoverSolution
+
+
+def col(name, rows, weight=1.0):
+    return Column(name, frozenset(rows), weight)
+
+
+@pytest.fixture()
+def problem():
+    return CoveringProblem(
+        rows=["r1", "r2", "r3"],
+        columns=[
+            col("x", {"r1"}, 1.0),
+            col("y", {"r1", "r2"}, 1.5),
+            col("z", {"r2", "r3"}, 2.0),
+        ],
+    )
+
+
+class TestColumn:
+    def test_empty_rows_rejected(self):
+        with pytest.raises(CoveringError):
+            Column("c", frozenset(), 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(CoveringError):
+            col("c", {"r"}, -1.0)
+
+    def test_covers(self):
+        assert col("c", {"a", "b"}).covers("a")
+        assert not col("c", {"a"}).covers("b")
+
+
+class TestProblemConstruction:
+    def test_duplicate_rows_rejected(self):
+        with pytest.raises(CoveringError, match="duplicate row"):
+            CoveringProblem(["r", "r"], [col("c", {"r"})])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CoveringError, match="duplicate column"):
+            CoveringProblem(["r"], [col("c", {"r"}), col("c", {"r"})])
+
+    def test_stray_rows_rejected(self):
+        with pytest.raises(CoveringError, match="unknown rows"):
+            CoveringProblem(["r"], [col("c", {"r", "ghost"})])
+
+    def test_lookup(self, problem):
+        assert problem.column("x").weight == 1.0
+        with pytest.raises(CoveringError):
+            problem.column("nope")
+
+    def test_columns_covering(self, problem):
+        assert {c.name for c in problem.columns_covering("r2")} == {"y", "z"}
+        with pytest.raises(CoveringError):
+            problem.columns_covering("ghost")
+
+    def test_density(self, problem):
+        assert problem.density() == pytest.approx(5 / 9)
+
+    def test_empty_density(self):
+        assert CoveringProblem([], []).density() == 0.0
+
+
+class TestFeasibility:
+    def test_validate_coverable_passes(self, problem):
+        problem.validate_coverable()
+
+    def test_uncovered_row_detected(self):
+        p = CoveringProblem(["r1", "r2"], [col("c", {"r1"})])
+        with pytest.raises(CoveringError, match="infeasible"):
+            p.validate_coverable()
+
+    def test_is_cover(self, problem):
+        assert problem.is_cover(["y", "z"])
+        assert not problem.is_cover(["x", "y"])
+
+    def test_weight_of_counts_once(self, problem):
+        assert problem.weight_of(["x", "x", "y"]) == pytest.approx(2.5)
+
+    def test_check_solution_ok(self, problem):
+        problem.check_solution(CoverSolution(("y", "z"), 3.5))
+
+    def test_check_solution_bad_cover(self, problem):
+        with pytest.raises(CoveringError, match="does not cover"):
+            problem.check_solution(CoverSolution(("x",), 1.0))
+
+    def test_check_solution_bad_weight(self, problem):
+        with pytest.raises(CoveringError, match="weight mismatch"):
+            problem.check_solution(CoverSolution(("y", "z"), 99.0))

@@ -1,0 +1,119 @@
+"""Unit tests for repro.covering.reductions."""
+
+import pytest
+
+from repro.core.exceptions import CoveringError
+from repro.covering import Column, CoveringProblem, ReducedState, reduce_to_fixpoint
+
+
+def col(name, rows, weight=1.0):
+    return Column(name, frozenset(rows), weight)
+
+
+class TestEssentials:
+    def test_singly_covered_row_forces_column(self):
+        p = CoveringProblem(
+            ["r1", "r2"],
+            [col("only", {"r1"}, 5.0), col("other", {"r2"}, 1.0), col("alt", {"r2"}, 2.0)],
+        )
+        state = reduce_to_fixpoint(ReducedState.initial(p))
+        assert "only" in state.selected
+
+    def test_cascading_essentials_solve_instance(self):
+        p = CoveringProblem(
+            ["r1", "r2"],
+            [col("c1", {"r1"}, 1.0), col("c2", {"r2"}, 1.0)],
+        )
+        state = reduce_to_fixpoint(ReducedState.initial(p))
+        assert state.solved and state.cost == 2.0
+
+    def test_uncoverable_row_raises(self):
+        p = CoveringProblem(["r1"], [col("c", {"r1"})])
+        state = ReducedState.initial(p)
+        state.exclude("c")
+        with pytest.raises(CoveringError):
+            reduce_to_fixpoint(state)
+
+
+class TestRowDominance:
+    def test_implied_row_removed(self):
+        # cols(r1) = {a} ⊆ cols(r2) = {a, b} → r2 removed
+        p = CoveringProblem(
+            ["r1", "r2", "r3"],
+            [col("a", {"r1", "r2"}, 3.0), col("b", {"r2", "r3"}, 1.0), col("c", {"r3"}, 1.0)],
+        )
+        state = ReducedState.initial(p)
+        from repro.covering.reductions import _apply_row_dominance
+
+        _apply_row_dominance(state)
+        assert "r2" not in state.rows
+        assert {"r1", "r3"} <= state.rows
+
+
+class TestColumnDominance:
+    def test_heavier_subset_column_removed(self):
+        p = CoveringProblem(
+            ["r1", "r2"],
+            [col("big", {"r1", "r2"}, 1.0), col("small", {"r1"}, 2.0), col("other", {"r2"}, 1.0)],
+        )
+        state = ReducedState.initial(p)
+        from repro.covering.reductions import _apply_column_dominance
+
+        _apply_column_dominance(state)
+        assert "small" not in state.columns
+        assert "big" in state.columns
+
+    def test_identical_twins_keep_one(self):
+        p = CoveringProblem(
+            ["r1"],
+            [col("aa", {"r1"}, 1.0), col("bb", {"r1"}, 1.0)],
+        )
+        state = ReducedState.initial(p)
+        from repro.covering.reductions import _apply_column_dominance
+
+        _apply_column_dominance(state)
+        assert state.columns == {"aa"}  # lexicographically smallest kept
+
+    def test_useless_column_removed(self):
+        p = CoveringProblem(
+            ["r1"],
+            [col("useful", {"r1"}, 1.0)],
+        )
+        state = ReducedState.initial(p)
+        state.select("useful")
+        # re-add a column covering nothing that remains
+        state.columns.add("useful")  # simulate availability of a now-useless column
+        from repro.covering.reductions import _apply_column_dominance
+
+        _apply_column_dominance(state)
+        assert "useful" not in state.columns
+
+
+class TestState:
+    def test_select_updates_everything(self):
+        p = CoveringProblem(["r1", "r2"], [col("c", {"r1"}, 3.0), col("d", {"r2"}, 1.0)])
+        state = ReducedState.initial(p)
+        state.select("c")
+        assert state.cost == 3.0
+        assert state.rows == {"r2"}
+        assert "c" not in state.columns
+
+    def test_select_unavailable_rejected(self):
+        p = CoveringProblem(["r1"], [col("c", {"r1"})])
+        state = ReducedState.initial(p)
+        state.exclude("c")
+        with pytest.raises(CoveringError):
+            state.select("c")
+
+    def test_clone_is_independent(self):
+        p = CoveringProblem(["r1", "r2"], [col("c", {"r1"}), col("d", {"r2"})])
+        a = ReducedState.initial(p)
+        b = a.clone()
+        b.select("c")
+        assert "c" in a.columns and a.cost == 0.0
+
+    def test_infeasible_flag(self):
+        p = CoveringProblem(["r1"], [col("c", {"r1"})])
+        state = ReducedState.initial(p)
+        state.exclude("c")
+        assert state.infeasible

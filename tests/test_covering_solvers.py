@@ -1,0 +1,158 @@
+"""Unit tests for the covering solvers: bounds, greedy, B&B, ILP,
+exhaustive — including agreement on crafted instances."""
+
+import pytest
+
+from repro.core.exceptions import CoveringError
+from repro.covering import (
+    Column,
+    CoveringProblem,
+    ReducedState,
+    SolverOptions,
+    greedy_cover,
+    lp_lower_bound,
+    mis_lower_bound,
+    solve_cover,
+    solve_exhaustive,
+    solve_ilp,
+)
+
+
+def col(name, rows, weight=1.0):
+    return Column(name, frozenset(rows), weight)
+
+
+@pytest.fixture()
+def diamond():
+    """Classic instance where greedy by ratio is suboptimal:
+    one big column almost covers everything but the cheap pair wins."""
+    return CoveringProblem(
+        rows=["r1", "r2", "r3", "r4"],
+        columns=[
+            col("big", {"r1", "r2", "r3"}, 2.0),   # best ratio (1.5) — greedy bait
+            col("left", {"r1", "r2"}, 1.5),
+            col("right", {"r3", "r4"}, 1.5),
+            col("last", {"r4"}, 1.3),
+        ],
+    )
+
+
+class TestBounds:
+    def test_mis_bound_on_disjoint_rows(self):
+        p = CoveringProblem(
+            ["r1", "r2"], [col("a", {"r1"}, 2.0), col("b", {"r2"}, 3.0)]
+        )
+        state = ReducedState.initial(p)
+        assert mis_lower_bound(state) == pytest.approx(5.0)
+
+    def test_mis_bound_never_exceeds_optimum(self, diamond):
+        state = ReducedState.initial(diamond)
+        opt = solve_exhaustive(diamond).weight
+        assert mis_lower_bound(state) <= opt + 1e-9
+
+    def test_mis_bound_infinite_when_infeasible(self):
+        p = CoveringProblem(["r1"], [col("a", {"r1"})])
+        state = ReducedState.initial(p)
+        state.exclude("a")
+        assert mis_lower_bound(state) == float("inf")
+
+    def test_lp_bound_sandwiched(self, diamond):
+        state = ReducedState.initial(diamond)
+        lp = lp_lower_bound(state)
+        opt = solve_exhaustive(diamond).weight
+        assert lp is not None
+        assert lp <= opt + 1e-9
+        assert lp >= 0
+
+    def test_lp_bound_solved_state(self, diamond):
+        state = ReducedState.initial(diamond)
+        state.rows.clear()
+        assert lp_lower_bound(state) == 0.0
+
+
+class TestGreedy:
+    def test_greedy_is_feasible(self, diamond):
+        sol = greedy_cover(diamond)
+        assert diamond.is_cover(sol.column_names)
+        assert not sol.optimal
+
+    def test_greedy_can_be_suboptimal(self, diamond):
+        greedy = greedy_cover(diamond)
+        exact = solve_exhaustive(diamond)
+        assert greedy.weight >= exact.weight
+        # on this instance strictly worse: big(3.1)+last(1.0) vs 3.0
+        assert greedy.weight > exact.weight
+
+
+class TestBranchAndBound:
+    def test_matches_exhaustive_on_diamond(self, diamond):
+        assert solve_cover(diamond).weight == pytest.approx(solve_exhaustive(diamond).weight)
+
+    def test_selection_reported(self, diamond):
+        sol = solve_cover(diamond)
+        assert set(sol.column_names) == {"left", "right"}
+        assert sol.weight == pytest.approx(3.0)
+
+    def test_empty_rows_trivial(self):
+        p = CoveringProblem([], [])
+        sol = solve_cover(p)
+        assert sol.column_names == () and sol.weight == 0.0
+
+    def test_infeasible_detected(self):
+        p = CoveringProblem(["r1", "r2"], [col("a", {"r1"})])
+        with pytest.raises(CoveringError):
+            solve_cover(p)
+
+    def test_all_features_off_still_exact(self, diamond):
+        opts = SolverOptions(use_reductions=False, use_lower_bounds=False, use_lp_bound=False)
+        assert solve_cover(diamond, opts).weight == pytest.approx(3.0)
+
+    def test_node_cap_enforced(self, diamond):
+        with pytest.raises(CoveringError, match="max_nodes"):
+            solve_cover(diamond, SolverOptions(use_reductions=False, use_lower_bounds=False, max_nodes=1))
+
+    def test_stats_populated(self, diamond):
+        sol = solve_cover(diamond)
+        assert sol.stats["nodes"] >= 1
+        assert sol.stats["greedy_seed_weight"] >= sol.weight
+
+
+class TestIlp:
+    def test_matches_exhaustive_on_diamond(self, diamond):
+        assert solve_ilp(diamond).weight == pytest.approx(3.0)
+
+    def test_infeasible_detected(self):
+        p = CoveringProblem(["r1", "r2"], [col("a", {"r1"})])
+        with pytest.raises(CoveringError):
+            solve_ilp(p)
+
+    def test_fractional_lp_forced_integral(self):
+        """Odd-cycle instance whose LP optimum is fractional (x = 1/2
+        everywhere): branching must recover the integral optimum 2."""
+        p = CoveringProblem(
+            rows=["e1", "e2", "e3"],
+            columns=[
+                col("v1", {"e1", "e3"}, 1.0),
+                col("v2", {"e1", "e2"}, 1.0),
+                col("v3", {"e2", "e3"}, 1.0),
+            ],
+        )
+        sol = solve_ilp(p)
+        assert sol.weight == pytest.approx(2.0)
+        assert solve_cover(p).weight == pytest.approx(2.0)
+
+
+class TestExhaustive:
+    def test_cap_enforced(self):
+        cols = [col(f"c{i}", {"r"}) for i in range(23)]
+        p = CoveringProblem(["r"], cols)
+        with pytest.raises(CoveringError, match="capped"):
+            solve_exhaustive(p)
+
+    def test_prefers_lighter_cover(self):
+        p = CoveringProblem(
+            ["r1", "r2"],
+            [col("both", {"r1", "r2"}, 1.9), col("a", {"r1"}, 1.0), col("b", {"r2"}, 1.0)],
+        )
+        sol = solve_exhaustive(p)
+        assert set(sol.column_names) == {"both"}

@@ -1,0 +1,116 @@
+"""Tests for the domain instances: WAN (paper Example 1), SoC / MPEG-4
+(paper Example 2) and the LAN."""
+
+import math
+
+import pytest
+
+from repro import MANHATTAN, Point, SynthesisOptions, synthesize
+from repro.core.point_to_point import check_assumption
+from repro.domains import (
+    lan_example,
+    mpeg4_constraint_graph,
+    mpeg4_example,
+    soc_example,
+    soc_library,
+    wan_constraint_graph,
+    wan_example,
+    wan_library,
+)
+from repro.domains.mpeg4 import MPEG4_CHANNELS, MPEG4_FLOORPLAN_MM, MPEG4_MAX_ARITY
+from repro.domains.soc import L_CRIT_018_MM, count_repeaters, repeater_cost
+
+
+class TestWanInstance:
+    def test_arc_lengths_match_paper(self, wan_graph):
+        expected = {
+            "a1": 5.0,
+            "a2": math.sqrt(29),
+            "a3": math.sqrt(82),
+            "a4": math.sqrt(9413),
+            "a5": math.sqrt(10036),
+            "a6": math.sqrt(9725),
+            "a7": math.sqrt(13),
+            "a8": math.sqrt(13),
+        }
+        for name, d in expected.items():
+            assert wan_graph.arc(name).distance == pytest.approx(d)
+
+    def test_all_bandwidths_ten_mbps(self, wan_graph):
+        assert all(a.bandwidth == 10e6 for a in wan_graph.arcs)
+
+    def test_library_matches_paper(self, wan_lib):
+        radio = wan_lib.link("radio")
+        optical = wan_lib.link("optical")
+        assert radio.bandwidth == 11e6 and radio.cost_per_unit == 2000.0
+        assert optical.bandwidth == 1e9 and optical.cost_per_unit == 4000.0
+
+    def test_assumption_2_1_holds(self, wan_graph, wan_lib):
+        assert check_assumption(wan_graph, wan_lib) == []
+
+    def test_builders_are_fresh(self):
+        g1, g2 = wan_constraint_graph(), wan_constraint_graph()
+        assert g1 is not g2 and len(g1) == len(g2) == 8
+
+
+class TestSocDomain:
+    def test_repeater_cost_formula(self):
+        # paper: floor((|dx| + |dy|) / l_crit)
+        assert repeater_cost(Point(0, 0), Point(1.0, 0.7), l_crit=0.6) == 2
+        assert repeater_cost(Point(0, 0), Point(0.5, 0), l_crit=0.6) == 0
+        assert repeater_cost(Point(0, 0), Point(1.2, 0), l_crit=0.6) == 2  # exact multiple
+
+    def test_library_has_paper_components(self):
+        lib = soc_library()
+        assert lib.link("metal-wire").max_length == L_CRIT_018_MM
+        assert {n.name for n in lib.nodes} == {"inverter", "mux", "demux"}
+
+    def test_soc_example_synthesizes(self):
+        g, lib = soc_example()
+        r = synthesize(g, lib, SynthesisOptions(max_arity=3))
+        assert r.total_cost <= r.point_to_point_cost
+        assert r.implementation.cost() == pytest.approx(r.total_cost, rel=1e-9)
+
+    def test_manhattan_norm_used(self):
+        g, _ = soc_example()
+        assert g.norm.name == "manhattan"
+
+
+class TestMpeg4Figure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        g, lib = mpeg4_example()
+        return synthesize(g, lib, SynthesisOptions(max_arity=MPEG4_MAX_ARITY))
+
+    def test_floorplan_and_channels_well_formed(self):
+        g = mpeg4_constraint_graph()
+        assert len(g.ports) == len(MPEG4_FLOORPLAN_MM) == 12
+        assert len(g) == len(MPEG4_CHANNELS) == 13
+        assert g.norm is MANHATTAN or g.norm.name == "manhattan"
+
+    def test_fifty_five_repeaters(self, result):
+        """The paper's Figure 5 headline: 55 repeaters at l_crit = 0.6 mm."""
+        assert count_repeaters(result.implementation) == 55
+
+    def test_merging_reduces_repeaters(self, result):
+        """Sharing trunks among memory channels must beat dedicated wires."""
+        assert result.merged_groups  # some channels share trunks
+        assert result.total_cost < result.point_to_point_cost
+
+    def test_cost_dominated_by_repeaters(self, result):
+        # wire epsilon cost contributes < 1 unit in total
+        repeaters = count_repeaters(result.implementation)
+        nodes = len(result.implementation.communication_vertices)
+        assert result.total_cost == pytest.approx(nodes, abs=0.01)
+        assert repeaters <= nodes  # muxes/demuxes are the rest
+
+
+class TestLan:
+    def test_lan_synthesizes_and_validates(self):
+        g, lib = lan_example()
+        r = synthesize(g, lib, SynthesisOptions(max_arity=2))
+        assert r.total_cost <= r.point_to_point_cost + 1e-9
+
+    def test_duplex_channel_count(self):
+        g, _ = lan_example()
+        assert len(g) == 10  # 5 clients x up+down

@@ -1,0 +1,35 @@
+"""Smoke tests: the bundled example scripts actually run.
+
+Only the fast ones execute here (the longer studies are exercised by
+the benchmark suite); each must exit cleanly and produce its stated
+output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "Quickstart synthesis" in out
+        assert "share one trunk" in out or "dedicated link" in out
+
+
+class TestWanPaperExample:
+    def test_runs_asserts_and_writes_svgs(self, capsys, tmp_path, monkeypatch):
+        out = _run("wan_paper_example.py", capsys)
+        assert "Table 1" in out and "Table 2" in out
+        assert "Paper claims verified" in out
+        assert (EXAMPLES / "wan_constraint_graph.svg").exists()
+        assert (EXAMPLES / "wan_implementation.svg").exists()

@@ -1,0 +1,96 @@
+"""Unit tests for repro.netgen.floorplans — SoC workload generation."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.netgen import (
+    grid_floorplan,
+    hotspot_traffic,
+    pipeline_traffic,
+    uniform_traffic,
+)
+
+
+class TestGridFloorplan:
+    def test_module_count_and_norm(self):
+        g = grid_floorplan(9, seed=1)
+        assert len(g.ports) == 9
+        assert g.norm.name == "manhattan"
+
+    def test_positions_within_die(self):
+        g = grid_floorplan(12, die_mm=(8.0, 4.0), seed=2)
+        for p in g.ports:
+            assert 0 <= p.position.x <= 8.0
+            assert 0 <= p.position.y <= 4.0
+
+    def test_positions_distinct(self):
+        g = grid_floorplan(16, jitter=0.3, seed=3)
+        coords = {(p.position.x, p.position.y) for p in g.ports}
+        assert len(coords) == 16
+
+    def test_deterministic(self):
+        a = grid_floorplan(8, seed=5)
+        b = grid_floorplan(8, seed=5)
+        assert [p.position for p in a.ports] == [p.position for p in b.ports]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            grid_floorplan(1)
+        with pytest.raises(ModelError):
+            grid_floorplan(4, jitter=0.5)
+
+
+class TestTrafficPatterns:
+    def test_hotspot_channels_point_at_hotspot(self):
+        g = hotspot_traffic(grid_floorplan(6, seed=1), hotspot="m0", reply_fraction=0.0, seed=1)
+        assert len(g) == 5
+        assert all(a.target.name == "m0" for a in g.arcs)
+
+    def test_hotspot_replies(self):
+        g = hotspot_traffic(grid_floorplan(6, seed=1), hotspot="m0", reply_fraction=1.0, seed=1)
+        assert len(g) == 10
+        outgoing = [a for a in g.arcs if a.source.name == "m0"]
+        assert len(outgoing) == 5
+
+    def test_pipeline_is_a_chain(self):
+        g = pipeline_traffic(grid_floorplan(5, seed=2), seed=2)
+        assert len(g) == 4
+        for i, arc in enumerate(g.arcs):
+            assert arc.source.name == f"m{i}" and arc.target.name == f"m{i + 1}"
+
+    def test_uniform_distinct_channels(self):
+        g = uniform_traffic(grid_floorplan(6, seed=3), n_channels=10, seed=3)
+        pairs = {(a.source.name, a.target.name) for a in g.arcs}
+        assert len(pairs) == 10
+
+    def test_uniform_too_many_rejected(self):
+        with pytest.raises(ModelError):
+            uniform_traffic(grid_floorplan(3, seed=0), n_channels=7)
+
+    def test_bandwidths_in_range(self):
+        g = hotspot_traffic(grid_floorplan(8, seed=4), bw_range=(1e6, 1e7), seed=4)
+        assert all(1e6 <= a.bandwidth <= 1e7 for a in g.arcs)
+
+    def test_bad_bandwidth_range_rejected(self):
+        with pytest.raises(ModelError):
+            hotspot_traffic(grid_floorplan(4, seed=0), bw_range=(0.0, 1e7))
+
+
+class TestSynthesisOnPatterns:
+    def test_hotspot_merges_more_than_pipeline(self):
+        """Hotspot traffic shares the memory controller as endpoint —
+        merging-friendly; a pipeline's channels are spatially disjoint."""
+        from repro import SynthesisOptions, synthesize
+        from repro.domains.soc import soc_library
+
+        lib = soc_library()
+        hot = hotspot_traffic(
+            grid_floorplan(7, die_mm=(8.0, 8.0), seed=9), reply_fraction=0.0, seed=9,
+            bw_range=(1e8, 1e9),
+        )
+        pipe = pipeline_traffic(
+            grid_floorplan(7, die_mm=(8.0, 8.0), seed=9), seed=9, bw_range=(1e8, 1e9)
+        )
+        r_hot = synthesize(hot, lib, SynthesisOptions(max_arity=3, validate_result=False))
+        r_pipe = synthesize(pipe, lib, SynthesisOptions(max_arity=3, validate_result=False))
+        assert r_hot.savings_ratio >= r_pipe.savings_ratio

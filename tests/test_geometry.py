@@ -1,0 +1,132 @@
+"""Unit tests for repro.core.geometry."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import (
+    CHEBYSHEV,
+    EUCLIDEAN,
+    MANHATTAN,
+    MinkowskiNorm,
+    Point,
+    bounding_box,
+    centroid,
+    midpoint,
+    norm_by_name,
+)
+
+
+class TestPoint:
+    def test_coordinates_coerced_to_float(self):
+        p = Point(1, 2)
+        assert isinstance(p.x, float) and isinstance(p.y, float)
+
+    def test_default_y_is_zero(self):
+        assert Point(3).y == 0.0
+
+    def test_addition_and_subtraction(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(2, 4) * 0.5 == Point(1, 2)
+        assert 2 * Point(1, 1) == Point(2, 2)
+
+    def test_division(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iteration_and_tuple(self):
+        assert tuple(Point(5, 6)) == (5.0, 6.0)
+        assert Point(5, 6).as_tuple() == (5.0, 6.0)
+
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11.0
+
+    def test_length(self):
+        assert Point(3, 4).length() == 5.0
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Point(float("nan"), 0)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            Point(0, float("inf"))
+
+    def test_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert hash(p) == hash(Point(1, 2))
+        with pytest.raises(Exception):
+            p.x = 3  # type: ignore[misc]
+
+
+class TestNorms:
+    def test_euclidean_345(self):
+        assert EUCLIDEAN.distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_manhattan(self):
+        assert MANHATTAN.distance(Point(0, 0), Point(3, 4)) == 7.0
+
+    def test_chebyshev(self):
+        assert CHEBYSHEV.distance(Point(0, 0), Point(3, 4)) == 4.0
+
+    def test_minkowski_p2_matches_euclidean(self):
+        m = MinkowskiNorm(2)
+        a, b = Point(1, 7), Point(-2, 3)
+        assert m.distance(a, b) == pytest.approx(EUCLIDEAN.distance(a, b))
+
+    def test_minkowski_p1_matches_manhattan(self):
+        m = MinkowskiNorm(1)
+        a, b = Point(1, 7), Point(-2, 3)
+        assert m.distance(a, b) == pytest.approx(MANHATTAN.distance(a, b))
+
+    def test_minkowski_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            MinkowskiNorm(0.5)
+
+    def test_minkowski_axis_aligned(self):
+        m = MinkowskiNorm(3)
+        assert m.distance(Point(0, 0), Point(5, 0)) == 5.0
+        assert m.distance(Point(0, 0), Point(0, 5)) == 5.0
+
+    def test_norms_callable(self):
+        assert EUCLIDEAN(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_norm_by_name(self):
+        assert norm_by_name("euclidean") is EUCLIDEAN
+        assert norm_by_name("manhattan") is MANHATTAN
+        assert norm_by_name("chebyshev") is CHEBYSHEV
+
+    def test_norm_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown norm"):
+            norm_by_name("taxicab")
+
+
+class TestHelpers:
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(4, 6)) == Point(2, 3)
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(3, 0), Point(0, 3)])
+        assert c == Point(1, 1)
+
+    def test_centroid_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_bounding_box(self):
+        lo, hi = bounding_box([Point(1, 5), Point(-2, 3), Point(4, -1)])
+        assert lo == Point(-2, -1)
+        assert hi == Point(4, 5)
+
+    def test_bounding_box_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,79 @@
+"""Tests for the hop/latency constraint extension (max_merge_hops)."""
+
+import pytest
+
+from repro import SynthesisOptions, best_point_to_point, synthesize
+from repro.core.merging import build_merging_plan
+from repro.domains import wan_example
+from repro.domains.soc import soc_library
+from repro.netgen import grid_floorplan, hotspot_traffic, parallel_channels_graph, two_tier_library
+
+
+class TestMaxHopsProperties:
+    def test_p2p_matching_has_zero_hops(self, per_unit_library):
+        plan = best_point_to_point(100.0, 10.0, per_unit_library)
+        assert plan.max_hops == 0
+
+    def test_p2p_segmentation_hops(self, simple_library):
+        plan = best_point_to_point(25.0, 5.0, simple_library)  # 3 segments
+        assert plan.max_hops == 2
+
+    def test_p2p_duplication_hops(self, simple_library):
+        plan = best_point_to_point(8.0, 25.0, simple_library)  # 3 branches
+        assert plan.max_hops == 2  # mux + demux
+
+    def test_merging_hops_counts_mux_demux(self):
+        graph = parallel_channels_graph(k=2, distance=100.0, pitch=1.0)
+        lib = two_tier_library()
+        plan = build_merging_plan(graph, ["a1", "a2"], lib)
+        # per-unit links: no segmentation anywhere -> exactly mux + demux
+        assert plan.max_hops == 2
+
+    def test_merging_hops_includes_trunk_repeaters(self):
+        graph = parallel_channels_graph(k=2, distance=5.0, pitch=0.4)
+        lib = soc_library()  # 0.6 mm wires: ~8 trunk segments
+        plan = build_merging_plan(graph, ["a1", "a2"], lib)
+        assert plan.max_hops > 2
+
+
+class TestSynthesisWithHopBudget:
+    def test_unconstrained_equals_default(self, wan_graph, wan_lib):
+        base = synthesize(wan_graph, wan_lib)
+        loose = synthesize(wan_graph, wan_lib, SynthesisOptions(max_merge_hops=100))
+        assert base.total_cost == pytest.approx(loose.total_cost)
+        assert loose.merged_groups == [("a4", "a5", "a6")]
+
+    def test_tight_budget_forbids_merging(self, wan_graph, wan_lib):
+        # every merging needs at least mux + demux = 2 hops
+        tight = synthesize(wan_graph, wan_lib, SynthesisOptions(max_merge_hops=1))
+        assert tight.merged_groups == []
+        assert tight.total_cost == pytest.approx(tight.point_to_point_cost)
+
+    def test_cost_monotone_in_budget(self):
+        graph = hotspot_traffic(
+            grid_floorplan(6, die_mm=(8.0, 8.0), seed=5), reply_fraction=0.0, seed=5,
+            bw_range=(1e8, 1e9),
+        )
+        lib = soc_library()
+        costs = []
+        for hops in (2, 10, 25, None):
+            r = synthesize(
+                graph, lib,
+                SynthesisOptions(max_arity=3, max_merge_hops=hops, validate_result=False),
+            )
+            costs.append(r.total_cost)
+        # relaxing the budget can only help (candidate set grows)
+        for tighter, looser in zip(costs, costs[1:]):
+            assert looser <= tighter + 1e-9
+
+    def test_pruned_hops_stat_recorded(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(max_merge_hops=1))
+        assert r.candidates.stats.pruned_hops > 0
+
+    def test_feasibility_preserved(self, wan_graph, wan_lib):
+        """Singletons are never hop-filtered, so even an absurd budget
+        yields a valid (if merge-free) architecture."""
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(max_merge_hops=0))
+        from repro.core.validation import validate
+
+        validate(r.implementation, wan_graph)

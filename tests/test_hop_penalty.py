@@ -1,0 +1,45 @@
+"""Tests for the weighted multi-objective hop penalty."""
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.domains import wan_example
+from repro.netgen import parallel_channels_graph, two_tier_library
+
+
+class TestHopPenalty:
+    def test_zero_penalty_is_default(self, wan_graph, wan_lib):
+        base = synthesize(wan_graph, wan_lib)
+        zero = synthesize(wan_graph, wan_lib, SynthesisOptions(hop_penalty=0.0))
+        assert base.total_cost == pytest.approx(zero.total_cost)
+
+    def test_negative_rejected(self, wan_graph, wan_lib):
+        with pytest.raises(ValueError):
+            synthesize(wan_graph, wan_lib, SynthesisOptions(hop_penalty=-1.0))
+
+    def test_small_penalty_keeps_structure_prices_it_in(self, wan_graph, wan_lib):
+        """The a4+a5+a6 merge saves ~$180k over 2 hops; a small penalty
+        keeps it but raises the reported (penalized) objective."""
+        base = synthesize(wan_graph, wan_lib)
+        pen = synthesize(wan_graph, wan_lib, SynthesisOptions(hop_penalty=1000.0))
+        assert pen.merged_groups == [("a4", "a5", "a6")]
+        assert pen.total_cost == pytest.approx(base.total_cost + 2 * 1000.0, rel=1e-6)
+        # monetary cost unchanged
+        assert pen.implementation.cost() == pytest.approx(base.implementation.cost(), rel=1e-9)
+
+    def test_huge_penalty_forbids_merging(self, wan_graph, wan_lib):
+        pen = synthesize(wan_graph, wan_lib, SynthesisOptions(hop_penalty=1e6))
+        assert pen.merged_groups == []
+
+    def test_penalty_sweep_traces_frontier(self):
+        """Sweeping the penalty on the parallel-channels instance walks
+        from the merged (cheap, 2 hops) to the dedicated (costlier,
+        0 hops) design, with monetary cost monotone in the penalty."""
+        graph = parallel_channels_graph(k=3, distance=100.0, pitch=1.0, bandwidth=10.0)
+        lib = two_tier_library(fast_cost_per_unit=3.0)
+        money = []
+        for penalty in (0.0, 10.0, 1e5):
+            r = synthesize(graph, lib, SynthesisOptions(hop_penalty=penalty))
+            money.append(r.implementation.cost())
+        assert money == sorted(money)
+        assert money[-1] > money[0]  # the dedicated endpoint is pricier

@@ -1,0 +1,107 @@
+"""Unit tests for repro.io — JSON round-trips and DOT export."""
+
+import json
+import math
+
+import pytest
+
+from repro import synthesize
+from repro.io import (
+    constraint_graph_from_dict,
+    constraint_graph_to_dict,
+    constraint_graph_to_dot,
+    implementation_to_dot,
+    library_from_dict,
+    library_to_dict,
+    load_instance,
+    save_instance,
+    synthesis_result_to_dict,
+)
+
+
+class TestGraphRoundtrip:
+    def test_ports_and_arcs_preserved(self, wan_graph):
+        clone = constraint_graph_from_dict(constraint_graph_to_dict(wan_graph))
+        assert {p.name for p in clone.ports} == {p.name for p in wan_graph.ports}
+        assert len(clone) == len(wan_graph)
+        for arc in wan_graph.arcs:
+            c = clone.arc(arc.name)
+            assert c.distance == pytest.approx(arc.distance)
+            assert c.bandwidth == arc.bandwidth
+            assert c.source.name == arc.source.name
+
+    def test_norm_preserved(self, wan_graph):
+        clone = constraint_graph_from_dict(constraint_graph_to_dict(wan_graph))
+        assert clone.norm.name == wan_graph.norm.name
+
+    def test_manhattan_roundtrip(self):
+        from repro.domains import mpeg4_constraint_graph
+
+        g = mpeg4_constraint_graph()
+        clone = constraint_graph_from_dict(constraint_graph_to_dict(g))
+        assert clone.norm.name == "manhattan"
+        clone.validate()
+
+    def test_json_serializable(self, wan_graph):
+        json.dumps(constraint_graph_to_dict(wan_graph))  # must not raise
+
+
+class TestLibraryRoundtrip:
+    def test_links_preserved(self, wan_lib):
+        clone = library_from_dict(library_to_dict(wan_lib))
+        assert clone.link("radio").cost_per_unit == 2000.0
+        assert math.isinf(clone.link("radio").max_length)
+
+    def test_infinite_length_encodes_as_string(self, wan_lib):
+        data = library_to_dict(wan_lib)
+        assert data["links"][0]["max_length"] == "inf"
+        json.dumps(data)  # must not raise
+
+    def test_nodes_preserved(self, simple_library):
+        clone = library_from_dict(library_to_dict(simple_library))
+        assert clone.node("mux").kind.value == "mux"
+        assert clone.node("rep").cost == 2.0
+
+    def test_finite_lengths_roundtrip(self, simple_library):
+        clone = library_from_dict(library_to_dict(simple_library))
+        assert clone.link("short").max_length == 10.0
+
+
+class TestInstanceFiles:
+    def test_save_load(self, tmp_path, wan_graph, wan_lib):
+        path = tmp_path / "wan.json"
+        save_instance(path, wan_graph, wan_lib)
+        g, lib = load_instance(path)
+        assert len(g) == 8 and len(lib.links) == 2
+
+    def test_loaded_instance_synthesizes_identically(self, tmp_path, wan_graph, wan_lib):
+        path = tmp_path / "wan.json"
+        save_instance(path, wan_graph, wan_lib)
+        g, lib = load_instance(path)
+        a = synthesize(wan_graph, wan_lib)
+        b = synthesize(g, lib)
+        assert a.total_cost == pytest.approx(b.total_cost)
+
+
+class TestResultSummary:
+    def test_summary_fields(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib)
+        d = synthesis_result_to_dict(r)
+        json.dumps(d)
+        assert d["total_cost"] == pytest.approx(r.total_cost)
+        assert d["candidate_counts"]["2"] if "2" in d["candidate_counts"] else d["candidate_counts"][2] == 13
+        assert any(s["merging"] for s in d["selected"])
+
+
+class TestDot:
+    def test_constraint_dot(self, wan_graph):
+        dot = constraint_graph_to_dot(wan_graph)
+        assert dot.startswith("digraph")
+        assert '"A" -> "D"' in dot  # a4
+        assert "style=dashed" in dot
+
+    def test_implementation_dot(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib)
+        dot = implementation_to_dot(r.implementation)
+        assert "shape=box" in dot  # communication vertices
+        assert "optical" in dot

@@ -1,0 +1,105 @@
+"""Unit tests for repro.domains.lid — latency-insensitive repeater
+classification (the paper's conclusion extension)."""
+
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.baselines import point_to_point_baseline
+from repro.domains.lid import classify_repeaters, lid_cost
+from repro.domains.soc import soc_library
+from repro.core.constraint_graph import ConstraintGraph
+from repro.core.geometry import MANHATTAN, Point
+
+
+def _wire_instance(length_mm: float):
+    """One channel of the given length on the 0.18 µm wire library."""
+    g = ConstraintGraph(norm=MANHATTAN, name="wire")
+    g.add_port("u", Point(0, 0))
+    g.add_port("v", Point(length_mm, 0))
+    g.add_channel("w", "u", "v", bandwidth=1e9)
+    return g, soc_library()
+
+
+class TestClassification:
+    def test_all_buffers_when_clock_is_slow(self):
+        g, lib = _wire_instance(6.0)  # 10 segments, 9 repeaters
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        c = classify_repeaters(impl, l_clock=100.0)
+        assert c.relay_count == 0
+        assert c.buffer_count == 9
+        assert c.violations == 0
+
+    def test_relays_appear_as_clock_tightens(self):
+        g, lib = _wire_instance(6.0)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        # l_clock = 2.0 mm over a 6 mm wire with repeaters every 0.6 mm:
+        # latch at ~1.8 mm intervals -> floor-ish count of relays
+        c = classify_repeaters(impl, l_clock=2.0)
+        assert c.relay_count >= 2
+        assert c.buffer_count + c.relay_count == 9
+        assert c.violations == 0
+
+    def test_relay_count_monotone_in_clock(self):
+        g, lib = _wire_instance(9.0)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        counts = [
+            classify_repeaters(impl, l_clock=lc).relay_count
+            for lc in (100.0, 5.0, 3.0, 1.8, 1.2, 0.7)
+        ]
+        assert counts == sorted(counts)
+        assert counts[0] == 0 and counts[-1] > 0
+
+    def test_violation_when_segment_exceeds_clock(self):
+        g, lib = _wire_instance(6.0)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        # segments are 0.6 mm; a 0.3 mm clock horizon cannot be met
+        c = classify_repeaters(impl, l_clock=0.3)
+        assert c.violations > 0
+
+    def test_invalid_clock_rejected(self):
+        g, lib = _wire_instance(3.0)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        with pytest.raises(ValueError):
+            classify_repeaters(impl, l_clock=0.0)
+
+
+class TestSharedTrunks:
+    def test_trunk_repeaters_classified_once(self):
+        """Two parallel channels merged on one trunk: the trunk's relays
+        serve both paths and are counted once."""
+        g = ConstraintGraph(norm=MANHATTAN, name="pair")
+        g.add_port("u1", Point(0, 0))
+        g.add_port("u2", Point(0, 0.2))
+        g.add_port("v1", Point(12.0, 0))
+        g.add_port("v2", Point(12.0, 0.2))
+        g.add_channel("c1", "u1", "v1", bandwidth=1e9)
+        g.add_channel("c2", "u2", "v2", bandwidth=1e9)
+        lib = soc_library()
+        result = synthesize(g, lib, SynthesisOptions(max_arity=2))
+        assert result.merged_groups  # sharing must win here
+        c = classify_repeaters(result.implementation, l_clock=2.0)
+        # all repeaters in the graph are classified, none twice
+        assert c.total == len(
+            [v for v in result.implementation.communication_vertices
+             if v.node.kind.value == "repeater"]
+        )
+
+
+class TestLidCost:
+    def test_cost_weights_relays_heavier(self):
+        g, lib = _wire_instance(6.0)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        slow = lid_cost(impl, l_clock=100.0, c_buffer=1.0, c_relay=8.0)
+        fast = lid_cost(impl, l_clock=1.8, c_buffer=1.0, c_relay=8.0)
+        assert slow["relay_stations"] == 0
+        assert fast["relay_stations"] > 0
+        assert fast["cost"] > slow["cost"]
+
+    def test_breakdown_consistent(self):
+        g, lib = _wire_instance(4.5)
+        impl = point_to_point_baseline(g, lib, check=False).implementation
+        out = lid_cost(impl, l_clock=2.0, c_buffer=1.0, c_relay=10.0)
+        assert out["cost"] == pytest.approx(
+            out["buffers"] * 1.0 + out["relay_stations"] * 10.0
+        )
+        assert out["classification"].total == out["buffers"] + out["relay_stations"]

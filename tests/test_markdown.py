@@ -1,0 +1,41 @@
+"""Unit tests for repro.analysis.markdown."""
+
+import pytest
+
+from repro import synthesize
+from repro.analysis import breakdown_to_markdown, markdown_table, result_to_markdown
+
+
+class TestMarkdownTable:
+    def test_basic_shape(self):
+        table = markdown_table(["a", "b"], [(1, 2), ("x", 3.14159)])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+        assert "3.1416" in lines[3]
+
+    def test_pipes_escaped(self):
+        table = markdown_table(["col|umn"], [("va|lue",)])
+        assert "col\\|umn" in table and "va\\|lue" in table
+
+    def test_float_formatting(self):
+        table = markdown_table(["v"], [(464579.35,)])
+        assert "464,579" in table
+
+
+class TestResultExport:
+    @pytest.fixture(scope="class")
+    def result(self, wan_graph, wan_lib):
+        return synthesize(wan_graph, wan_lib)
+
+    def test_result_to_markdown(self, result):
+        md = result_to_markdown(result, title="WAN")
+        assert md.startswith("### WAN")
+        assert "merge(a4+a5+a6)" in md
+        assert "savings" in md
+
+    def test_breakdown_to_markdown(self, result):
+        md = breakdown_to_markdown(result)
+        assert "link:radio" in md and "link:optical" in md
+        assert "**total**" in md

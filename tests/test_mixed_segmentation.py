@@ -1,0 +1,113 @@
+"""Unit tests for repro.core.mixed_segmentation — heterogeneous chains."""
+
+import math
+
+import pytest
+
+from repro import (
+    CommunicationLibrary,
+    InfeasibleError,
+    Link,
+    NodeKind,
+    NodeSpec,
+    best_mixed_segmentation,
+    best_point_to_point,
+)
+
+
+@pytest.fixture()
+def stub_library():
+    """short (d=10, $10) + stub (d=2, $3) + free repeaters: the classic
+    case where mixing beats both homogeneous chains."""
+    lib = CommunicationLibrary("stub")
+    lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+    lib.add_link(Link("stub", bandwidth=10, max_length=2, cost_fixed=3.0))
+    lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=0.0))
+    return lib
+
+
+class TestHeterogeneousWins:
+    def test_mixed_beats_homogeneous(self, stub_library):
+        # d = 11: homogeneous short = 2x10 = 20; homogeneous stub = 6x3 = 18;
+        # mixed short+stub = 13.
+        plan = best_mixed_segmentation(11.0, 5.0, stub_library)
+        assert plan.is_heterogeneous
+        assert plan.cost == pytest.approx(13.0)
+        homogeneous = best_point_to_point(11.0, 5.0, stub_library)
+        assert plan.cost < homogeneous.cost
+
+    def test_repeater_cost_counted(self):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+        lib.add_link(Link("stub", bandwidth=10, max_length=2, cost_fixed=3.0))
+        lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=4.0))
+        plan = best_mixed_segmentation(11.0, 5.0, lib)
+        # short+stub = 13 + 1 repeater (4) = 17; homogeneous short = 20+4 = 24
+        assert plan.cost == pytest.approx(17.0)
+
+    def test_expensive_repeaters_flip_choice(self):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+        lib.add_link(Link("stub", bandwidth=10, max_length=2, cost_fixed=3.0))
+        lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=100.0))
+        # any chain pays >= 100 per joint: single long-enough link is out
+        # (d=11 > 10), so cheapest is short+stub at 13+100 = 113 vs 18+5*100.
+        plan = best_mixed_segmentation(11.0, 5.0, lib)
+        assert plan.segment_count == 2
+        assert plan.cost == pytest.approx(113.0)
+
+
+class TestAgreementWithHomogeneous:
+    @pytest.mark.parametrize("distance", [0.5, 2.0, 8.0, 10.0, 20.0, 95.0])
+    def test_never_worse_than_homogeneous(self, simple_library, distance):
+        mixed = best_mixed_segmentation(distance, 5.0, simple_library)
+        homogeneous = best_point_to_point(distance, 5.0, simple_library)
+        assert mixed.cost <= homogeneous.cost + 1e-9
+
+    def test_matching_when_one_link_suffices(self, simple_library):
+        plan = best_mixed_segmentation(8.0, 5.0, simple_library)
+        assert plan.segment_count == 1
+        assert not plan.is_heterogeneous
+        assert plan.cost == pytest.approx(5.0)
+
+    def test_per_unit_library_stays_single_link(self, per_unit_library):
+        plan = best_mixed_segmentation(100.0, 10.0, per_unit_library)
+        assert plan.segment_count == 1
+        assert plan.cost == pytest.approx(200.0)
+
+
+class TestFeasibility:
+    def test_no_carrying_link_rejected(self, stub_library):
+        with pytest.raises(InfeasibleError):
+            best_mixed_segmentation(5.0, 100.0, stub_library)
+
+    def test_no_repeater_no_chain(self):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+        with pytest.raises(InfeasibleError):
+            best_mixed_segmentation(11.0, 5.0, lib)
+
+    def test_degenerate_requirement_rejected(self, stub_library):
+        with pytest.raises(InfeasibleError):
+            best_mixed_segmentation(5.0, 0.0, stub_library)
+
+    def test_zero_distance(self, stub_library):
+        plan = best_mixed_segmentation(0.0, 5.0, stub_library)
+        assert plan.segment_count == 1
+        assert plan.cost == pytest.approx(3.0)  # cheapest fixed cost
+
+
+class TestPlanShape:
+    def test_spans_sum_to_distance(self, stub_library):
+        plan = best_mixed_segmentation(11.0, 5.0, stub_library)
+        total = sum(n * span for _, n, span in plan.segments)
+        assert total == pytest.approx(11.0)
+
+    def test_spans_respect_max_length(self, stub_library):
+        plan = best_mixed_segmentation(17.0, 5.0, stub_library)
+        for link, _, span in plan.segments:
+            assert span <= link.max_length * (1 + 1e-9)
+
+    def test_repeater_count(self, stub_library):
+        plan = best_mixed_segmentation(11.0, 5.0, stub_library)
+        assert plan.repeater_count == plan.segment_count - 1

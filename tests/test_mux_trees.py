@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.mux_trees and its merging integration."""
+
+import pytest
+
+from repro import (
+    CommunicationLibrary,
+    Link,
+    NodeKind,
+    NodeSpec,
+    build_merging_plan,
+    merge_node_overhead,
+    tree_node_count,
+)
+from repro.core.mux_trees import demux_tree_nodes, mux_tree_nodes
+from repro.netgen import parallel_channels_graph
+
+
+class TestTreeNodeCount:
+    def test_trivial_inputs(self):
+        assert tree_node_count(0, 4) == 0
+        assert tree_node_count(1, 4) == 0
+
+    def test_unbounded_degree(self):
+        assert tree_node_count(100, None) == 1
+
+    def test_fits_in_one_node(self):
+        assert tree_node_count(4, 4) == 1
+        assert tree_node_count(3, 4) == 1
+
+    def test_binary_tree(self):
+        # ceil((k-1)/(2-1)) = k-1 internal nodes for a binary reduction
+        assert tree_node_count(5, 2) == 4
+        assert tree_node_count(8, 2) == 7
+
+    def test_quaternary_tree(self):
+        assert tree_node_count(9, 4) == 3   # 2 first-level + 1 root
+        assert tree_node_count(5, 4) == 2
+        assert tree_node_count(16, 4) == 5
+
+
+class TestLibraryQueries:
+    def _lib(self, mux_degree, demux_degree):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("l", bandwidth=100, cost_per_unit=1.0))
+        lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=7.0, max_degree=mux_degree))
+        lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=5.0, max_degree=demux_degree))
+        return lib
+
+    def test_counts(self):
+        lib = self._lib(2, 4)
+        assert mux_tree_nodes(5, lib) == 4
+        assert demux_tree_nodes(5, lib) == 2
+
+    def test_overhead(self):
+        lib = self._lib(2, 4)
+        assert merge_node_overhead(5, lib) == pytest.approx(4 * 7.0 + 2 * 5.0)
+
+    def test_missing_nodes(self):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("l", bandwidth=100, cost_per_unit=1.0))
+        assert mux_tree_nodes(3, lib) is None
+        assert merge_node_overhead(3, lib) is None
+
+
+class TestMergingIntegration:
+    def _lib(self, max_degree):
+        lib = CommunicationLibrary()
+        lib.add_link(Link("slow", bandwidth=10.0, cost_per_unit=1.0))
+        lib.add_link(Link("fast", bandwidth=1000.0, cost_per_unit=1.2))
+        lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=2.0, max_degree=max_degree))
+        lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=2.0, max_degree=max_degree))
+        return lib
+
+    def test_bounded_fanin_charges_tree_nodes(self):
+        graph = parallel_channels_graph(k=5, distance=100.0, pitch=1.0)
+        unbounded = build_merging_plan(graph, [a.name for a in graph.arcs], self._lib(None))
+        bounded = build_merging_plan(graph, [a.name for a in graph.arcs], self._lib(2))
+        assert unbounded is not None and bounded is not None
+        assert unbounded.mux_count == 1 and unbounded.demux_count == 1
+        assert bounded.mux_count == 4 and bounded.demux_count == 4
+        # 3 extra muxes and 3 extra demuxes at cost 2 each
+        assert bounded.cost == pytest.approx(unbounded.cost + 6 * 2.0 + 6 * 0.0, rel=1e-6)
+
+    def test_materialization_creates_tree_instances(self):
+        from repro import EUCLIDEAN, ImplementationGraph
+        from repro.core.merging import materialize_merging
+
+        graph = parallel_channels_graph(k=5, distance=100.0, pitch=1.0)
+        lib = self._lib(2)
+        plan = build_merging_plan(graph, [a.name for a in graph.arcs], lib)
+        impl = ImplementationGraph(library=lib, norm=EUCLIDEAN)
+        materialize_merging(impl, graph, plan)
+        kinds = [v.node.kind for v in impl.communication_vertices]
+        assert kinds.count(NodeKind.MUX) == 4
+        assert kinds.count(NodeKind.DEMUX) == 4
+        assert impl.cost() == pytest.approx(plan.cost, rel=1e-9)
+
+    def test_synthesis_respects_fanin_economics(self):
+        """With brutal per-level node costs a large merge can lose to
+        smaller ones — the covering step arbitrates."""
+        from repro import SynthesisOptions, synthesize
+
+        graph = parallel_channels_graph(k=5, distance=100.0, pitch=1.0)
+        lib = CommunicationLibrary()
+        lib.add_link(Link("slow", bandwidth=10.0, cost_per_unit=1.0))
+        lib.add_link(Link("fast", bandwidth=1000.0, cost_per_unit=1.2))
+        lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=80.0, max_degree=2))
+        lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=80.0, max_degree=2))
+        result = synthesize(graph, lib, SynthesisOptions(max_arity=5))
+        # a 5-way merge needs 4+4 nodes = 640 > the ~380 it saves
+        assert all(len(g) < 5 for g in result.merged_groups)

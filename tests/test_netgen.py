@@ -1,0 +1,150 @@
+"""Unit tests for repro.netgen — generators are seeded, well-formed."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.netgen import (
+    clustered_graph,
+    parallel_channels_graph,
+    random_library,
+    star_graph,
+    two_tier_library,
+    uniform_graph,
+)
+
+
+class TestClustered:
+    def test_port_and_arc_counts(self):
+        g = clustered_graph(n_clusters=2, ports_per_cluster=3, n_arcs=8, seed=1)
+        assert len(g.ports) == 6 and len(g) == 8
+
+    def test_deterministic_per_seed(self):
+        a = clustered_graph(seed=7)
+        b = clustered_graph(seed=7)
+        assert [(x.name, x.distance) for x in a.arcs] == [(x.name, x.distance) for x in b.arcs]
+
+    def test_different_seeds_differ(self):
+        a = clustered_graph(seed=1)
+        b = clustered_graph(seed=2)
+        assert [x.distance for x in a.arcs] != [x.distance for x in b.arcs]
+
+    def test_clusters_are_separated(self):
+        g = clustered_graph(n_clusters=2, ports_per_cluster=2, n_arcs=2,
+                            cluster_spread=1.0, separation=100.0, seed=3)
+        c0 = [p for p in g.ports if p.module == "cluster0"]
+        c1 = [p for p in g.ports if p.module == "cluster1"]
+        d = g.norm.distance(c0[0].position, c1[0].position)
+        assert d > 50.0
+
+    def test_too_many_arcs_rejected(self):
+        with pytest.raises(ModelError):
+            clustered_graph(n_clusters=1, ports_per_cluster=2, n_arcs=5)
+
+    def test_bandwidth_range_respected(self):
+        g = clustered_graph(n_arcs=6, bandwidth_range=(5.0, 9.0), seed=4)
+        assert all(5.0 <= a.bandwidth <= 9.0 for a in g.arcs)
+
+
+class TestUniform:
+    def test_counts_and_extent(self):
+        g = uniform_graph(n_ports=6, n_arcs=7, extent=50.0, seed=2)
+        assert len(g.ports) == 6 and len(g) == 7
+        lo, hi = g.extent()
+        assert 0 <= lo.x and hi.x <= 50.0
+
+
+class TestParametric:
+    def test_star_inbound(self):
+        g = star_graph(n_leaves=5)
+        assert len(g) == 5
+        assert all(a.target.name == "hub" for a in g.arcs)
+
+    def test_star_outbound(self):
+        g = star_graph(n_leaves=4, inbound=False)
+        assert all(a.source.name == "hub" for a in g.arcs)
+
+    def test_star_arc_lengths_equal_radius(self):
+        g = star_graph(n_leaves=3, radius=40.0)
+        assert all(a.distance == pytest.approx(40.0) for a in g.arcs)
+
+    def test_parallel_channels(self):
+        g = parallel_channels_graph(k=3, distance=60.0, pitch=2.0)
+        assert len(g) == 3
+        assert all(a.distance == pytest.approx(60.0) for a in g.arcs)
+
+
+class TestRing:
+    def test_channel_count(self):
+        from repro.netgen import ring_graph
+
+        assert len(ring_graph(n_nodes=6)) == 6
+        assert len(ring_graph(n_nodes=6, bidirectional=True)) == 12
+
+    def test_neighbour_lengths_equal(self):
+        from repro.netgen import ring_graph
+
+        g = ring_graph(n_nodes=5, radius=30.0)
+        lengths = {round(a.distance, 9) for a in g.arcs}
+        assert len(lengths) == 1
+
+    def test_minimum_size_enforced(self):
+        from repro.core.exceptions import ModelError
+        from repro.netgen import ring_graph
+
+        with pytest.raises(ModelError):
+            ring_graph(n_nodes=2)
+
+    def test_ring_synthesizes(self):
+        from repro import SynthesisOptions, synthesize
+        from repro.netgen import ring_graph
+
+        g = ring_graph(n_nodes=5, radius=30.0)
+        r = synthesize(g, two_tier_library(), SynthesisOptions(max_arity=3, validate_result=False))
+        assert r.total_cost <= r.point_to_point_cost + 1e-9
+
+
+class TestMesh:
+    def test_channel_count(self):
+        from repro.netgen import mesh_graph
+
+        # 3x3: east 3*2=6, north 2*3=6
+        assert len(mesh_graph(3, 3)) == 12
+
+    def test_all_channels_one_pitch(self):
+        from repro.netgen import mesh_graph
+
+        g = mesh_graph(2, 4, pitch=7.0)
+        assert all(a.distance == pytest.approx(7.0) for a in g.arcs)
+
+    def test_degenerate_rejected(self):
+        from repro.core.exceptions import ModelError
+        from repro.netgen import mesh_graph
+
+        with pytest.raises(ModelError):
+            mesh_graph(1, 1)
+
+
+class TestLibraries:
+    def test_two_tier_defaults_match_wan_economics(self):
+        lib = two_tier_library()
+        assert lib.link("slow").bandwidth == 11.0
+        assert lib.link("fast").cost_per_unit == 4.0
+
+    def test_random_library_seeded(self):
+        a, b = random_library(seed=5), random_library(seed=5)
+        assert [l.cost_per_unit for l in a.links] == [l.cost_per_unit for l in b.links]
+
+    def test_random_library_monotone_economics(self):
+        lib = random_library(n_links=5, seed=9)
+        links = lib.links
+        for l1, l2 in zip(links, links[1:]):
+            assert l1.bandwidth <= l2.bandwidth
+            assert l1.cost_per_unit <= l2.cost_per_unit
+
+    def test_random_library_usable_for_synthesis(self):
+        from repro import synthesize
+
+        g = parallel_channels_graph(k=2, distance=10.0, bandwidth=1.0)
+        lib = random_library(seed=3)
+        r = synthesize(g, lib)
+        assert r.total_cost > 0

@@ -1,0 +1,75 @@
+"""Tests for ConstraintGraph.from_networkx interop."""
+
+import networkx as nx
+import pytest
+
+from repro import ConstraintGraph, MANHATTAN, ModelError, synthesize
+from repro.netgen import two_tier_library
+
+
+def _board():
+    g = nx.DiGraph(name="board")
+    g.add_node("cpu", pos=(0.0, 0.0))
+    g.add_node("mem", pos=(100.0, 0.0), module="memory")
+    g.add_node("io", pos=(100.0, 30.0))
+    g.add_edge("cpu", "mem", bandwidth=10.0, name="rd")
+    g.add_edge("mem", "cpu", bandwidth=10.0)
+    g.add_edge("cpu", "io", bandwidth=4.0)
+    return g
+
+
+class TestFromNetworkx:
+    def test_basic_conversion(self):
+        cg = ConstraintGraph.from_networkx(_board())
+        assert cg.name == "board"
+        assert len(cg.ports) == 3 and len(cg) == 3
+        assert cg.arc("rd").distance == pytest.approx(100.0)
+        assert cg.port("mem").module == "memory"
+
+    def test_unnamed_edges_numbered(self):
+        cg = ConstraintGraph.from_networkx(_board())
+        names = {a.name for a in cg.arcs}
+        assert "rd" in names and len(names) == 3
+
+    def test_custom_attribute_keys(self):
+        g = nx.DiGraph()
+        g.add_node("a", xy=(0, 0))
+        g.add_node("b", xy=(3, 4))
+        g.add_edge("a", "b", bw=2.0)
+        cg = ConstraintGraph.from_networkx(g, pos_attr="xy", bandwidth_attr="bw")
+        assert cg.arcs[0].distance == pytest.approx(5.0)
+
+    def test_norm_respected(self):
+        cg = ConstraintGraph.from_networkx(_board(), norm=MANHATTAN)
+        assert cg.arc("rd").distance == pytest.approx(100.0)
+        assert cg.arcs_between("cpu", "io")[0].distance == pytest.approx(130.0)
+
+    def test_missing_position_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a")
+        g.add_node("b", pos=(1, 1))
+        g.add_edge("a", "b", bandwidth=1.0)
+        with pytest.raises(ModelError, match="pos"):
+            ConstraintGraph.from_networkx(g)
+
+    def test_missing_bandwidth_rejected(self):
+        g = nx.DiGraph()
+        g.add_node("a", pos=(0, 0))
+        g.add_node("b", pos=(1, 1))
+        g.add_edge("a", "b")
+        with pytest.raises(ModelError, match="bandwidth"):
+            ConstraintGraph.from_networkx(g)
+
+    def test_multigraph_supported(self):
+        g = nx.MultiDiGraph()
+        g.add_node("a", pos=(0, 0))
+        g.add_node("b", pos=(10, 0))
+        g.add_edge("a", "b", bandwidth=1.0)
+        g.add_edge("a", "b", bandwidth=2.0)
+        cg = ConstraintGraph.from_networkx(g)
+        assert len(cg.arcs_between("a", "b")) == 2
+
+    def test_roundtrip_through_synthesis(self):
+        cg = ConstraintGraph.from_networkx(_board())
+        result = synthesize(cg, two_tier_library())
+        assert result.total_cost > 0

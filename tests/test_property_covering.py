@@ -1,0 +1,81 @@
+"""Property-based tests: the covering solvers agree with brute force."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.exceptions import CoveringError
+from repro.covering import (
+    Column,
+    CoveringProblem,
+    SolverOptions,
+    greedy_cover,
+    solve_cover,
+    solve_exhaustive,
+    solve_ilp,
+)
+
+
+@st.composite
+def covering_instances(draw):
+    """Random feasible weighted UCP instances (<= 6 rows, <= 9 columns)."""
+    n_rows = draw(st.integers(min_value=1, max_value=6))
+    rows = [f"r{i}" for i in range(n_rows)]
+    n_cols = draw(st.integers(min_value=1, max_value=9))
+    columns = []
+    for j in range(n_cols):
+        size = draw(st.integers(min_value=1, max_value=n_rows))
+        members = draw(
+            st.lists(st.sampled_from(rows), min_size=size, max_size=size, unique=True)
+        )
+        weight = draw(st.floats(min_value=0.1, max_value=20.0, allow_nan=False))
+        columns.append(Column(f"c{j}", frozenset(members), weight))
+    # guarantee feasibility with one full column
+    columns.append(Column("full", frozenset(rows), draw(st.floats(min_value=5.0, max_value=40.0))))
+    return CoveringProblem(rows, columns)
+
+
+@settings(max_examples=60, deadline=None)
+@given(covering_instances())
+def test_bnb_matches_exhaustive(problem):
+    assert solve_cover(problem).weight == pytest.approx(solve_exhaustive(problem).weight)
+
+
+@settings(max_examples=40, deadline=None)
+@given(covering_instances())
+def test_ilp_matches_exhaustive(problem):
+    assert solve_ilp(problem).weight == pytest.approx(solve_exhaustive(problem).weight, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(covering_instances())
+def test_reductions_and_bounds_do_not_change_optimum(problem):
+    full = solve_cover(problem)
+    bare = solve_cover(
+        problem,
+        SolverOptions(use_reductions=False, use_lower_bounds=False, use_lp_bound=False),
+    )
+    assert full.weight == pytest.approx(bare.weight)
+
+
+@settings(max_examples=40, deadline=None)
+@given(covering_instances())
+def test_greedy_feasible_and_bounded_below_by_optimum(problem):
+    greedy = greedy_cover(problem)
+    problem.check_solution(greedy)
+    assert greedy.weight >= solve_cover(problem).weight - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(covering_instances())
+def test_solution_is_irredundant_under_check(problem):
+    sol = solve_cover(problem)
+    problem.check_solution(sol)
+    # optimality implies no column can be dropped for free
+    for name in sol.column_names:
+        remaining = [c for c in sol.column_names if c != name]
+        if problem.is_cover(remaining):
+            # dropping it must not reduce weight (weights nonnegative) —
+            # but an optimal solver should not have kept a zero-use column
+            # unless its weight is ~0
+            assert problem.column(name).weight <= 1e-9

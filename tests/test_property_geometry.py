@@ -1,0 +1,98 @@
+"""Property-based tests: norm axioms and placement optimality."""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.geometry import CHEBYSHEV, EUCLIDEAN, MANHATTAN, MinkowskiNorm, Point
+from repro.core.placement import linear_stage, optimize_two_points, weiszfeld
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+ALL_NORMS = [EUCLIDEAN, MANHATTAN, CHEBYSHEV, MinkowskiNorm(3)]
+
+
+@settings(max_examples=100, deadline=None)
+@given(points, points)
+def test_norms_symmetric_and_nonnegative(a, b):
+    for norm in ALL_NORMS:
+        d = norm.distance(a, b)
+        assert d >= 0
+        assert d == pytest.approx(norm.distance(b, a))
+
+
+@settings(max_examples=100, deadline=None)
+@given(points)
+def test_norms_identity(a):
+    for norm in ALL_NORMS:
+        assert norm.distance(a, a) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(points, points, points)
+def test_norms_triangle_inequality(a, b, c):
+    for norm in ALL_NORMS:
+        lhs = norm.distance(a, c)
+        rhs = norm.distance(a, b) + norm.distance(b, c)
+        assert lhs <= rhs + 1e-6 * max(1.0, rhs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(points, points)
+def test_norm_ordering_l1_ge_l2_ge_linf(a, b):
+    l1 = MANHATTAN.distance(a, b)
+    l2 = EUCLIDEAN.distance(a, b)
+    linf = CHEBYSHEV.distance(a, b)
+    assert l1 >= l2 - 1e-9 * max(1.0, l1)
+    assert l2 >= linf - 1e-9 * max(1.0, l2)
+
+
+small_coords = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+small_points = st.builds(Point, small_coords, small_coords)
+weights = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(small_points, min_size=2, max_size=6),
+    st.data(),
+)
+def test_weiszfeld_beats_every_anchor(anchors, data):
+    """The Fermat–Weber value at the returned point is no worse than at
+    any anchor (anchors include the optimum in the degenerate cases)."""
+    ws = [data.draw(weights) for _ in anchors]
+
+    def objective(p):
+        return sum(w * EUCLIDEAN.distance(p, a) for w, a in zip(ws, anchors))
+
+    found, _ = weiszfeld(anchors, ws)
+    best_anchor = min(objective(a) for a in anchors)
+    assert objective(found) <= best_anchor + 1e-6 * max(1.0, best_anchor)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(small_points, min_size=1, max_size=4),
+    st.lists(small_points, min_size=1, max_size=4),
+    weights,
+    weights,
+)
+def test_two_point_placement_beats_centroid_seeds(sources, sinks, feeder_w, trunk_w):
+    """optimize_two_points must return a value at least as good as the
+    naive centroid placement it is seeded with."""
+    from repro.core.geometry import centroid
+
+    feeders = [linear_stage(feeder_w)] * len(sources)
+    dists = [linear_stage(feeder_w)] * len(sinks)
+    trunk = linear_stage(trunk_w)
+    res = optimize_two_points(sources, sinks, feeders, trunk, dists)
+
+    s0, t0 = centroid(list(sources)), centroid(list(sinks))
+    naive = (
+        sum(feeder_w * EUCLIDEAN.distance(u, s0) for u in sources)
+        + trunk_w * EUCLIDEAN.distance(s0, t0)
+        + sum(feeder_w * EUCLIDEAN.distance(t0, v) for v in sinks)
+    )
+    assert res.cost <= naive + 1e-6 * max(1.0, naive)

@@ -1,0 +1,83 @@
+"""Property-based round-trip tests for serialization."""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.io import (
+    constraint_graph_from_dict,
+    constraint_graph_to_dict,
+    library_from_dict,
+    library_to_dict,
+)
+from repro.netgen import clustered_graph, random_library, uniform_graph
+
+graphs = st.one_of(
+    st.builds(
+        clustered_graph,
+        n_clusters=st.just(2),
+        ports_per_cluster=st.integers(min_value=2, max_value=4),
+        n_arcs=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=9999),
+    ),
+    st.builds(
+        uniform_graph,
+        n_ports=st.integers(min_value=3, max_value=8),
+        n_arcs=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=9999),
+    ),
+)
+
+libraries = st.builds(
+    random_library,
+    n_links=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=9999),
+    with_nodes=st.booleans(),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs)
+def test_graph_roundtrip_preserves_everything(graph):
+    data = json.loads(json.dumps(constraint_graph_to_dict(graph)))
+    clone = constraint_graph_from_dict(data)
+    assert clone.norm.name == graph.norm.name
+    assert [p.name for p in clone.ports] == [p.name for p in graph.ports]
+    for a, b in zip(graph.arcs, clone.arcs):
+        assert a.name == b.name
+        assert a.source.name == b.source.name and a.target.name == b.target.name
+        assert a.distance == pytest.approx(b.distance)
+        assert a.bandwidth == pytest.approx(b.bandwidth)
+    clone.validate()  # lengths stay geometry-consistent after the trip
+
+
+@settings(max_examples=50, deadline=None)
+@given(libraries)
+def test_library_roundtrip_preserves_everything(library):
+    data = json.loads(json.dumps(library_to_dict(library)))
+    clone = library_from_dict(data)
+    assert [l.name for l in clone.links] == [l.name for l in library.links]
+    for a, b in zip(library.links, clone.links):
+        assert a.bandwidth == b.bandwidth
+        assert a.max_length == b.max_length
+        assert a.cost_fixed == b.cost_fixed and a.cost_per_unit == b.cost_per_unit
+    assert [n.name for n in clone.nodes] == [n.name for n in library.nodes]
+    for a, b in zip(library.nodes, clone.nodes):
+        assert a.kind == b.kind and a.cost == b.cost and a.max_degree == b.max_degree
+
+
+@settings(max_examples=20, deadline=None)
+@given(graphs)
+def test_roundtrip_preserves_synthesis_outcome(graph):
+    """The serialized instance synthesizes to the same optimum."""
+    from repro import SynthesisOptions, synthesize
+    from repro.netgen import two_tier_library
+
+    lib = two_tier_library()
+    clone = constraint_graph_from_dict(constraint_graph_to_dict(graph))
+    opts = SynthesisOptions(max_arity=3, validate_result=False)
+    a = synthesize(graph, lib, opts)
+    b = synthesize(clone, lib, opts)
+    assert a.total_cost == pytest.approx(b.total_cost, rel=1e-9)

@@ -1,0 +1,75 @@
+"""Geometric property test of Lemma 3.1's semantics.
+
+The lemma promises: when Γ(a, a') <= Δ(a, a'), *no* merged structure
+beats the two dedicated implementations (under Assumption 2.1).  We
+check the promise directly: on random graphs with per-unit-priced
+libraries (where our placement solves the merged-cost minimization to
+global optimality — the objective is convex), every lemma-pruned pair's
+best merging must cost at least the sum of its members' point-to-point
+optima, and the converse direction (surviving pairs) is where all
+strictly-profitable mergings live.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import compute_matrices, point_to_point_cost
+from repro.core.merging import build_merging_plan
+from repro.core.pruning import lemma_3_1_not_mergeable
+from repro.netgen import two_tier_library, uniform_graph
+
+libraries = st.builds(
+    two_tier_library,
+    slow_cost_per_unit=st.sampled_from([1.0, 2.0]),
+    fast_cost_per_unit=st.sampled_from([2.5, 3.0, 4.0]),
+    mux_cost=st.just(0.0),
+    demux_cost=st.just(0.0),
+)
+
+graphs = st.builds(
+    uniform_graph,
+    n_ports=st.sampled_from([4, 5, 6]),
+    n_arcs=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=20_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, libraries)
+def test_pruned_pairs_never_merge_profitably(graph, library):
+    matrices = compute_matrices(graph)
+    arcs = graph.arcs
+    for i in range(len(arcs)):
+        for j in range(i + 1, len(arcs)):
+            if not lemma_3_1_not_mergeable(matrices, i, j):
+                continue
+            plan = build_merging_plan(graph, [arcs[i].name, arcs[j].name], library)
+            if plan is None:
+                continue
+            dedicated = point_to_point_cost(
+                arcs[i].distance, arcs[i].bandwidth, library
+            ) + point_to_point_cost(arcs[j].distance, arcs[j].bandwidth, library)
+            assert plan.cost >= dedicated - 1e-6 * max(1.0, dedicated), (
+                arcs[i].name,
+                arcs[j].name,
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs, libraries)
+def test_profitable_mergings_only_among_survivors(graph, library):
+    """Contrapositive sanity: any strictly profitable 2-way merging must
+    be a pair the lemma let through."""
+    matrices = compute_matrices(graph)
+    arcs = graph.arcs
+    for i in range(len(arcs)):
+        for j in range(i + 1, len(arcs)):
+            plan = build_merging_plan(graph, [arcs[i].name, arcs[j].name], library)
+            if plan is None:
+                continue
+            dedicated = point_to_point_cost(
+                arcs[i].distance, arcs[i].bandwidth, library
+            ) + point_to_point_cost(arcs[j].distance, arcs[j].bandwidth, library)
+            if plan.cost < dedicated - 1e-6 * max(1.0, dedicated):
+                assert not lemma_3_1_not_mergeable(matrices, i, j)

@@ -1,0 +1,72 @@
+"""Property-based tests for heterogeneous segmentation.
+
+The oracle: brute-force enumeration over all per-type count vectors up
+to a generous bound, with the same greedy span fill (which is exactly
+optimal for the continuous subproblem).  The production search must
+match it, and must never beat physics (spans within max_length, total
+span == distance).
+"""
+
+import itertools
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import CommunicationLibrary, Link, NodeKind, NodeSpec, best_mixed_segmentation
+from repro.core.mixed_segmentation import _chain_cost_for_counts
+
+
+@st.composite
+def finite_libraries(draw):
+    """1-3 finite-length fixed-cost link families + a repeater."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    lib = CommunicationLibrary("prop")
+    for i in range(n):
+        max_length = draw(st.sampled_from([1.0, 2.0, 3.0, 5.0, 10.0]))
+        cost = draw(st.sampled_from([1.0, 2.5, 4.0, 8.0, 15.0]))
+        lib.add_link(Link(f"l{i}", bandwidth=10.0, max_length=max_length, cost_fixed=cost))
+    lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=draw(st.sampled_from([0.0, 0.5, 2.0]))))
+    return lib
+
+
+def brute_force_cost(distance, library):
+    links = library.links
+    rep_cost = library.cheapest_node(NodeKind.REPEATER).cost
+    bounds = [int(math.ceil(distance / l.max_length - 1e-12)) + 1 for l in links]
+    best = math.inf
+    for counts in itertools.product(*(range(0, b + 1) for b in bounds)):
+        if sum(counts) == 0:
+            continue
+        entry = _chain_cost_for_counts(links, counts, distance, rep_cost)
+        if entry is not None:
+            best = min(best, entry[0])
+    return best
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_libraries(), st.floats(min_value=0.1, max_value=25.0, allow_nan=False))
+def test_search_matches_brute_force(library, distance):
+    plan = best_mixed_segmentation(distance, 5.0, library)
+    oracle = brute_force_cost(distance, library)
+    assert plan.cost == pytest.approx(oracle, rel=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(finite_libraries(), st.floats(min_value=0.1, max_value=25.0, allow_nan=False))
+def test_plan_is_physically_valid(library, distance):
+    plan = best_mixed_segmentation(distance, 5.0, library)
+    total = sum(n * span for _, n, span in plan.segments)
+    assert total == pytest.approx(distance, rel=1e-9, abs=1e-9)
+    for link, _n, span in plan.segments:
+        assert span <= link.max_length * (1 + 1e-9)
+        assert span >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(finite_libraries(), st.floats(min_value=0.1, max_value=12.0, allow_nan=False))
+def test_cost_monotone_in_distance(library, distance):
+    shorter = best_mixed_segmentation(distance, 5.0, library)
+    longer = best_mixed_segmentation(distance * 1.5, 5.0, library)
+    assert shorter.cost <= longer.cost + 1e-9

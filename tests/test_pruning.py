@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.pruning — the paper's Section 3 results."""
+
+import pytest
+
+from repro import compute_matrices
+from repro.core.pruning import (
+    lemma_3_1_not_mergeable,
+    lemma_3_2_not_mergeable,
+    subset_pruned,
+    theorem_3_2_not_mergeable,
+)
+
+# Lemma 3.1 on the WAN instance: exactly these 13 pairs survive
+# (the paper: "thirteen 2-way ... candidate arc mergings").
+EXPECTED_MERGEABLE_PAIRS = {
+    (0, 1), (1, 2), (0, 4), (0, 5), (1, 4), (2, 3), (2, 4),
+    (3, 4), (3, 5), (4, 5), (3, 6), (4, 6), (5, 6),
+}
+
+
+class TestLemma31:
+    def test_wan_pairs_match_paper(self, wan_graph):
+        m = compute_matrices(wan_graph)
+        survivors = {
+            (i, j)
+            for i in range(8)
+            for j in range(i + 1, 8)
+            if not lemma_3_1_not_mergeable(m, i, j)
+        }
+        assert survivors == EXPECTED_MERGEABLE_PAIRS
+        assert len(survivors) == 13
+
+    def test_a8_pairs_all_pruned(self, wan_graph):
+        """The paper: "arc a8 is not mergeable with any other arc"."""
+        m = compute_matrices(wan_graph)
+        a8 = 7
+        for i in range(7):
+            assert lemma_3_1_not_mergeable(m, i, a8)
+
+    def test_equality_counts_as_not_mergeable(self, wan_graph):
+        """Γ(a1,a3) == Δ(a1,a3) exactly (shared endpoint, collinear sums);
+        the lemma's <= must prune it."""
+        m = compute_matrices(wan_graph)
+        assert m.gamma_of("a1", "a3") == pytest.approx(m.delta_of("a1", "a3"))
+        assert lemma_3_1_not_mergeable(m, 0, 2)
+
+
+class TestLemma32:
+    def test_reduces_to_lemma_31_for_pairs(self, wan_graph):
+        m = compute_matrices(wan_graph)
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert lemma_3_2_not_mergeable(m, (i, j)) == lemma_3_1_not_mergeable(m, i, j)
+
+    def test_known_mergeable_triple_survives(self, wan_graph):
+        """a4, a5, a6 form the paper's winning merge — the lemma must not
+        prune them."""
+        m = compute_matrices(wan_graph)
+        assert not lemma_3_2_not_mergeable(m, (3, 4, 5))
+
+    def test_triple_with_a8_pruned(self, wan_graph):
+        m = compute_matrices(wan_graph)
+        assert lemma_3_2_not_mergeable(m, (3, 4, 7))
+
+    def test_requires_at_least_two(self, wan_graph):
+        m = compute_matrices(wan_graph)
+        with pytest.raises(ValueError):
+            lemma_3_2_not_mergeable(m, (0,))
+
+
+class TestTheorem32:
+    def test_sum_below_threshold_not_pruned(self):
+        # Σb = 30, max_l b = 1000, min b = 10 → 30 < 1010
+        assert not theorem_3_2_not_mergeable([10.0, 10.0, 10.0], 1000.0)
+
+    def test_sum_at_threshold_pruned(self):
+        # Σb = 30 >= 20 + 10
+        assert theorem_3_2_not_mergeable([10.0, 10.0, 10.0], 20.0)
+
+    def test_sum_above_threshold_pruned(self):
+        assert theorem_3_2_not_mergeable([15.0, 10.0], 10.0)
+
+    def test_requires_at_least_two(self):
+        with pytest.raises(ValueError):
+            theorem_3_2_not_mergeable([10.0], 100.0)
+
+    def test_boundary_exactness(self):
+        # Σ = 25, threshold = 15 + 10 = 25 → >= fires
+        assert theorem_3_2_not_mergeable([10.0, 15.0], 15.0)
+        # Σ = 24 < threshold 16 + 9 = 25 → survives
+        assert not theorem_3_2_not_mergeable([9.0, 15.0], 16.0)
+
+
+class TestCombined:
+    def test_subset_pruned_uses_both_conditions(self, wan_graph, wan_lib):
+        m = compute_matrices(wan_graph)
+        # geometric pruning fires
+        assert subset_pruned(m, (0, 7), wan_lib)
+        # neither fires for the winning triple
+        assert not subset_pruned(m, (3, 4, 5), wan_lib)
+
+    def test_bandwidth_condition_via_library(self, wan_graph):
+        """With a library whose fastest link is 15 Mbps the winning triple
+        (Σ = 30 Mbps >= 15 + 10 = 25) is bandwidth-pruned."""
+        from repro import CommunicationLibrary, Link
+
+        m = compute_matrices(wan_graph)
+        lib = CommunicationLibrary()
+        lib.add_link(Link("only", bandwidth=15e6, cost_per_unit=1.0))
+        assert subset_pruned(m, (3, 4, 5), lib)

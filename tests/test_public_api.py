@@ -1,0 +1,75 @@
+"""Packaging/API-surface guards.
+
+Every name in every ``__all__`` must resolve, every documented CLI
+subcommand must exist, and the version must be a sane string — cheap
+tests that catch refactoring slips before users do.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.covering",
+    "repro.baselines",
+    "repro.domains",
+    "repro.netgen",
+    "repro.analysis",
+    "repro.io",
+    "repro.sim",
+]
+
+
+class TestAllResolvable:
+    @pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+    def test_every_all_name_exists(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+    def test_key_symbols_at_top_level(self):
+        for name in (
+            "synthesize",
+            "SynthesisOptions",
+            "ConstraintGraph",
+            "CommunicationLibrary",
+            "Link",
+            "NodeSpec",
+            "Point",
+            "generate_candidates",
+            "IncrementalSynthesizer",
+            "audit_result",
+            "solve_cover",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestCliSurface:
+    def test_documented_subcommands_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+        )
+        commands = set(sub.choices)
+        assert {"synthesize", "demo", "tables", "lid", "simulate", "pareto"} <= commands
+
+
+class TestEnumerationGuard:
+    def test_blowup_raises_with_advice(self, monkeypatch):
+        import repro.core.candidates as candidates_mod
+        from repro import InfeasibleError, generate_candidates
+        from repro.netgen import parallel_channels_graph, two_tier_library
+
+        monkeypatch.setattr(candidates_mod, "MAX_ENUMERATED_SUBSETS", 3)
+        graph = parallel_channels_graph(k=5, distance=100.0, pitch=1.0)
+        with pytest.raises(InfeasibleError, match="max_arity"):
+            generate_candidates(graph, two_tier_library())

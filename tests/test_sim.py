@@ -1,0 +1,138 @@
+"""Tests for the fluid-flow performance-validation simulator."""
+
+import pytest
+
+from repro import EUCLIDEAN, ImplementationGraph, Path, Point, synthesize
+from repro.core.constraint_graph import ConstraintGraph
+from repro.sim import simulate
+
+
+@pytest.fixture()
+def matched_instance(per_unit_library):
+    """One 10-unit channel at bandwidth 5 on an 11-capacity link."""
+    g = ConstraintGraph(name="sim-basic")
+    g.add_port("u", Point(0, 0))
+    g.add_port("v", Point(10, 0))
+    g.add_channel("a1", "u", "v", bandwidth=5.0)
+    impl = ImplementationGraph(library=per_unit_library, norm=EUCLIDEAN)
+    for port in g.ports:
+        impl.add_computational_vertex(port)
+    e = impl.add_link_instance(per_unit_library.link("slow"), "u", "v", bandwidth=5.0)
+    impl.set_arc_implementation("a1", [Path((e.name,))])
+    return impl, g
+
+
+class TestBasics:
+    def test_matched_channel_satisfied(self, matched_instance):
+        impl, g = matched_instance
+        result = simulate(impl, g, duration=100.0)
+        stats = result.channels["a1"]
+        assert stats.satisfied
+        assert stats.throughput == pytest.approx(5.0, rel=1e-6)
+        assert result.all_satisfied
+
+    def test_utilization_measured(self, matched_instance):
+        impl, g = matched_instance
+        result = simulate(impl, g, duration=100.0)
+        (link_stats,) = result.links.values()
+        assert link_stats.capacity == 11.0
+        assert link_stats.utilization == pytest.approx(5.0 / 11.0, rel=0.05)
+
+    def test_overload_starves_and_queues(self, matched_instance):
+        impl, g = matched_instance
+        result = simulate(impl, g, duration=100.0, demand_scale=4.0)  # 20 > 11
+        stats = result.channels["a1"]
+        assert not stats.satisfied
+        assert stats.throughput == pytest.approx(11.0, rel=0.05)  # link-limited
+        assert stats.peak_backlog > 100.0  # linear growth
+        assert result.starved_channels() == ["a1"]
+
+    def test_invalid_duration_rejected(self, matched_instance):
+        impl, g = matched_instance
+        with pytest.raises(ValueError):
+            simulate(impl, g, duration=0.0)
+
+
+class TestSharedTrunk:
+    def test_proportional_sharing_under_contention(self, per_unit_library):
+        """Two channels share one 11-capacity link at demands 8 and 3:
+        total 11 fits exactly; at scale 2 the trunk saturates and fair
+        shares follow the demand proportions."""
+        g = ConstraintGraph(name="shared")
+        g.add_port("u1", Point(0, 0))
+        g.add_port("u2", Point(0, 1))
+        g.add_port("v1", Point(10, 0))
+        g.add_port("v2", Point(10, 1))
+        g.add_channel("big", "u1", "v1", bandwidth=8.0)
+        g.add_channel("small", "u2", "v2", bandwidth=3.0)
+
+        from repro import NodeKind
+
+        lib = per_unit_library
+        impl = ImplementationGraph(library=lib, norm=EUCLIDEAN)
+        for port in g.ports:
+            impl.add_computational_vertex(port)
+        m = impl.add_communication_vertex(lib.cheapest_node(NodeKind.MUX), Point(0, 0.5))
+        d = impl.add_communication_vertex(lib.cheapest_node(NodeKind.DEMUX), Point(10, 0.5))
+        f1 = impl.add_link_instance(lib.link("slow"), "u1", m.name, bandwidth=8.0)
+        f2 = impl.add_link_instance(lib.link("slow"), "u2", m.name, bandwidth=3.0)
+        trunk = impl.add_link_instance(lib.link("slow"), m.name, d.name, bandwidth=11.0)
+        g1 = impl.add_link_instance(lib.link("slow"), d.name, "v1", bandwidth=8.0)
+        g2 = impl.add_link_instance(lib.link("slow"), d.name, "v2", bandwidth=3.0)
+        impl.set_arc_implementation("big", [Path((f1.name, trunk.name, g1.name))])
+        impl.set_arc_implementation("small", [Path((f2.name, trunk.name, g2.name))])
+
+        ok = simulate(impl, g, duration=200.0)
+        assert ok.all_satisfied
+
+        hot = simulate(impl, g, duration=400.0, demand_scale=1.5)  # 16.5 > 11
+        # feeders cap big at 11 upstream; trunk then splits by backlog.
+        big = hot.channels["big"]
+        small = hot.channels["small"]
+        assert not hot.all_satisfied
+        assert big.throughput + small.throughput == pytest.approx(11.0, rel=0.05)
+
+    def test_synthesized_wan_sustains_demands(self, wan_graph, wan_lib):
+        result = synthesize(wan_graph, wan_lib)
+        sim = simulate(result.implementation, wan_graph, duration=50.0)
+        assert sim.all_satisfied
+        for stats in sim.channels.values():
+            assert stats.throughput == pytest.approx(10e6, rel=1e-3)
+
+    def test_wan_trunk_utilization(self, wan_graph, wan_lib):
+        result = synthesize(wan_graph, wan_lib)
+        sim = simulate(result.implementation, wan_graph, duration=50.0)
+        optical = {
+            name: s for name, s in sim.links.items() if s.capacity == 1e9
+        }
+        assert optical
+        # the merged trunk (busiest optical instance) carries 30 Mbps of
+        # its 1 Gbps; the zero-length distributors carry 10 Mbps each.
+        trunk_util = max(s.utilization for s in optical.values())
+        assert trunk_util == pytest.approx(0.03, rel=0.1)
+
+    def test_wan_overload_detected(self, wan_graph, wan_lib):
+        """Scaling demands 20% past the radio links' headroom starves
+        every radio-fed channel — the simulator sees what the static
+        LP sees."""
+        result = synthesize(wan_graph, wan_lib)
+        sim = simulate(result.implementation, wan_graph, duration=100.0, demand_scale=1.2)
+        assert not sim.all_satisfied
+        assert len(sim.starved_channels()) >= 5  # all radio-only arcs
+
+
+class TestConsistencyWithStaticValidation:
+    def test_simulation_agrees_with_lp_on_synthesized_graphs(self):
+        """Whatever the synthesis produces passes both the static flow
+        LP and the dynamic simulation."""
+        from repro import SynthesisOptions
+        from repro.core.validation import validate_capacity
+        from repro.netgen import clustered_graph, two_tier_library
+
+        for seed in (3, 7):
+            graph = clustered_graph(n_arcs=6, seed=seed)
+            lib = two_tier_library()
+            result = synthesize(graph, lib, SynthesisOptions(max_arity=3))
+            validate_capacity(result.implementation, graph)
+            sim = simulate(result.implementation, graph, duration=100.0)
+            assert sim.all_satisfied, sim.starved_channels()

@@ -1,0 +1,114 @@
+"""Tests for the packet-level discrete-event simulator."""
+
+import pytest
+
+from repro import EUCLIDEAN, ImplementationGraph, Path, Point, SynthesisOptions, synthesize
+from repro.core.constraint_graph import ConstraintGraph
+from repro.sim import simulate_packets
+
+
+def _single_link(per_unit_library, bandwidth=5.0, link="slow"):
+    g = ConstraintGraph(name="pkt")
+    g.add_port("u", Point(0, 0))
+    g.add_port("v", Point(10, 0))
+    g.add_channel("a1", "u", "v", bandwidth=bandwidth)
+    impl = ImplementationGraph(library=per_unit_library, norm=EUCLIDEAN)
+    for port in g.ports:
+        impl.add_computational_vertex(port)
+    e = impl.add_link_instance(per_unit_library.link(link), "u", "v", bandwidth=bandwidth)
+    impl.set_arc_implementation("a1", [Path((e.name,))])
+    return impl, g
+
+
+class TestSingleLink:
+    def test_uncontended_latency_is_serialization(self, per_unit_library):
+        impl, g = _single_link(per_unit_library)
+        # packet 100 bits over an 11-unit link: 100/11 per packet,
+        # emission interval 100/5 = 20 > serialization, so no queueing
+        r = simulate_packets(impl, g, duration=1000.0, packet_bits=100.0)
+        stats = r.channels["a1"]
+        assert stats.mean_latency == pytest.approx(100.0 / 11.0, rel=1e-6)
+        assert stats.max_latency == pytest.approx(100.0 / 11.0, rel=1e-6)
+        assert stats.hops == 0
+
+    def test_throughput_matches_demand(self, per_unit_library):
+        impl, g = _single_link(per_unit_library)
+        r = simulate_packets(impl, g, duration=1000.0, packet_bits=100.0)
+        stats = r.channels["a1"]
+        # interval 20 -> ~50 packets in 1000 time units
+        assert stats.sent == pytest.approx(50, abs=2)
+        assert stats.in_flight <= 1
+
+    def test_overload_queues_grow(self, per_unit_library):
+        """Two channels of 6 units share one 11-unit link: offered load
+        12 > 11, so queueing delay grows over the run."""
+        g = ConstraintGraph(name="overload")
+        g.add_port("u1", Point(0, 0))
+        g.add_port("u2", Point(0, 1))
+        g.add_port("v1", Point(10, 0))
+        g.add_port("v2", Point(10, 1))
+        g.add_channel("c1", "u1", "v1", bandwidth=6.0)
+        g.add_channel("c2", "u2", "v2", bandwidth=6.0)
+        from repro import NodeKind
+
+        lib = per_unit_library
+        impl = ImplementationGraph(library=lib, norm=EUCLIDEAN)
+        for port in g.ports:
+            impl.add_computational_vertex(port)
+        m = impl.add_communication_vertex(lib.cheapest_node(NodeKind.MUX), Point(0, 0.5))
+        d = impl.add_communication_vertex(lib.cheapest_node(NodeKind.DEMUX), Point(10, 0.5))
+        f1 = impl.add_link_instance(lib.link("slow"), "u1", m.name, bandwidth=6.0)
+        f2 = impl.add_link_instance(lib.link("slow"), "u2", m.name, bandwidth=6.0)
+        trunk = impl.add_link_instance(lib.link("slow"), m.name, d.name, bandwidth=11.0)
+        g1 = impl.add_link_instance(lib.link("slow"), d.name, "v1", bandwidth=6.0)
+        g2 = impl.add_link_instance(lib.link("slow"), d.name, "v2", bandwidth=6.0)
+        impl.set_arc_implementation("c1", [Path((f1.name, trunk.name, g1.name))])
+        impl.set_arc_implementation("c2", [Path((f2.name, trunk.name, g2.name))])
+
+        r = simulate_packets(impl, g, duration=3000.0, packet_bits=100.0)
+        worst = max(s.max_latency for s in r.channels.values())
+        base = 3 * (100.0 / 11.0)  # three uncontended serialization stages
+        assert worst > 5 * base  # queueing dominates under overload
+
+    def test_propagation_delay_added(self, per_unit_library):
+        impl, g = _single_link(per_unit_library)
+        r = simulate_packets(impl, g, duration=500.0, packet_bits=100.0, distance_delay=0.5)
+        # link length 10 -> +5 propagation
+        assert r.channels["a1"].mean_latency == pytest.approx(100.0 / 11.0 + 5.0, rel=1e-6)
+
+    def test_invalid_args_rejected(self, per_unit_library):
+        impl, g = _single_link(per_unit_library)
+        with pytest.raises(ValueError):
+            simulate_packets(impl, g, duration=0.0)
+        with pytest.raises(ValueError):
+            simulate_packets(impl, g, duration=10.0, packet_bits=0.0)
+
+
+class TestSynthesizedArchitectures:
+    def test_wan_latency_ordering(self, wan_graph, wan_lib):
+        """Merged channels traverse mux + trunk + demux: strictly more
+        hops, hence more serialization stages, than dedicated matches."""
+        result = synthesize(wan_graph, wan_lib)
+        r = simulate_packets(
+            result.implementation, wan_graph, duration=2e-1, packet_bits=1e4
+        )
+        merged = [r.channels[n] for n in ("a4", "a5", "a6")]
+        direct = [r.channels[n] for n in ("a1", "a2", "a3", "a7", "a8")]
+        assert all(m.hops >= 2 for m in merged)
+        assert all(d.hops == 0 for d in direct)
+        worst_direct = max(d.mean_latency for d in direct)
+        best_merged = min(m.mean_latency for m in merged)
+        assert best_merged > worst_direct
+
+    def test_deterministic(self, wan_graph, wan_lib):
+        result = synthesize(wan_graph, wan_lib)
+        a = simulate_packets(result.implementation, wan_graph, duration=1e-1, packet_bits=1e4)
+        b = simulate_packets(result.implementation, wan_graph, duration=1e-1, packet_bits=1e4)
+        for name in a.channels:
+            assert a.channels[name] == b.channels[name]
+
+    def test_all_packets_delivered_under_provisioning(self, wan_graph, wan_lib):
+        result = synthesize(wan_graph, wan_lib)
+        r = simulate_packets(result.implementation, wan_graph, duration=1e-1, packet_bits=1e4)
+        for name, stats in r.channels.items():
+            assert stats.received >= stats.sent - stats.hops - 2, name

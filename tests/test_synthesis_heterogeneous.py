@@ -1,0 +1,71 @@
+"""Integration tests: heterogeneous segmentation inside the synthesis."""
+
+import pytest
+
+from repro import (
+    CommunicationLibrary,
+    ConstraintGraph,
+    Link,
+    NodeKind,
+    NodeSpec,
+    Point,
+    SynthesisOptions,
+    synthesize,
+)
+from repro.core.validation import validate
+
+
+@pytest.fixture()
+def stub_instance():
+    """One 11-unit channel over the short/stub library where the mixed
+    chain (cost 13) beats homogeneous short (20) and stub (18)."""
+    g = ConstraintGraph(name="stub-chain")
+    g.add_port("u", Point(0, 0))
+    g.add_port("v", Point(11, 0))
+    g.add_channel("w", "u", "v", bandwidth=5.0)
+
+    lib = CommunicationLibrary("stub")
+    lib.add_link(Link("short", bandwidth=10, max_length=10, cost_fixed=10.0))
+    lib.add_link(Link("stub", bandwidth=10, max_length=2, cost_fixed=3.0))
+    lib.add_node(NodeSpec("rep", NodeKind.REPEATER, cost=0.5))
+    lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=1.0))
+    lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=1.0))
+    return g, lib
+
+
+class TestHeterogeneousOption:
+    def test_off_by_default(self, stub_instance):
+        g, lib = stub_instance
+        result = synthesize(g, lib)
+        assert result.total_cost == pytest.approx(20.0 + 0.5)  # 2 shorts + rep
+
+    def test_on_finds_mixed_chain(self, stub_instance):
+        g, lib = stub_instance
+        result = synthesize(g, lib, SynthesisOptions(heterogeneous=True))
+        assert result.total_cost == pytest.approx(13.0 + 0.5)
+        (candidate,) = result.selected
+        assert candidate.is_mixed_chain
+
+    def test_materialized_graph_validates(self, stub_instance):
+        g, lib = stub_instance
+        result = synthesize(g, lib, SynthesisOptions(heterogeneous=True))
+        validate(result.implementation, g)
+        assert result.implementation.cost() == pytest.approx(result.total_cost, rel=1e-9)
+
+    def test_mixed_chain_link_types_in_graph(self, stub_instance):
+        g, lib = stub_instance
+        result = synthesize(g, lib, SynthesisOptions(heterogeneous=True))
+        used = {a.link.name for a in result.implementation.arcs}
+        assert used == {"short", "stub"}
+
+    def test_no_effect_on_per_unit_libraries(self, wan_graph, wan_lib):
+        base = synthesize(wan_graph, wan_lib)
+        hetero = synthesize(wan_graph, wan_lib, SynthesisOptions(heterogeneous=True))
+        assert hetero.total_cost == pytest.approx(base.total_cost)
+        assert hetero.merged_groups == base.merged_groups
+
+    def test_never_worse(self, stub_instance):
+        g, lib = stub_instance
+        base = synthesize(g, lib)
+        hetero = synthesize(g, lib, SynthesisOptions(heterogeneous=True))
+        assert hetero.total_cost <= base.total_cost + 1e-9

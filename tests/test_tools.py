@@ -1,0 +1,26 @@
+"""Smoke test for tools/regenerate_results.py."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+
+class TestRegenerateResults:
+    def test_fast_run_writes_report_and_figures(self, tmp_path):
+        import regenerate_results
+
+        out = tmp_path / "RESULTS.md"
+        code = regenerate_results.main(["--fast", "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "Example 1 — WAN" in text
+        assert "a4+a5+a6" in text
+        assert "Pareto frontier" in text
+        assert "| 13 |" in text  # the 2-way candidate count row
+        figures = Path(regenerate_results.FIGURES)
+        assert (figures / "backplane_pareto.svg").exists()
+        assert (figures / "scaling_costs.svg").exists()

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.units."""
+
+import pytest
+
+from repro.core.units import (
+    GBps,
+    Gbps,
+    Kbps,
+    MBps,
+    Mbps,
+    cm,
+    format_bandwidth,
+    format_distance,
+    km,
+    meters,
+    mm,
+    parse_bandwidth,
+    parse_distance,
+    um,
+)
+
+
+class TestBandwidthBuilders:
+    def test_kbps(self):
+        assert Kbps(5) == 5e3
+
+    def test_mbps(self):
+        assert Mbps(10) == 10e6
+
+    def test_gbps(self):
+        assert Gbps(1) == 1e9
+
+    def test_mbytes(self):
+        assert MBps(1) == 8e6
+
+    def test_gbytes(self):
+        assert GBps(2) == 16e9
+
+
+class TestParseBandwidth:
+    def test_plain_number(self):
+        assert parse_bandwidth("42") == 42.0
+
+    def test_mbps(self):
+        assert parse_bandwidth("10Mbps") == 1e7
+
+    def test_with_space(self):
+        assert parse_bandwidth("1 Gbps") == 1e9
+
+    def test_case_insensitive_prefix(self):
+        assert parse_bandwidth("3kbps") == 3e3
+
+    def test_bytes_capital_b(self):
+        assert parse_bandwidth("1GBps") == 8e9
+
+    def test_bytes_slash_form(self):
+        assert parse_bandwidth("1 GB/s") == 8e9
+
+    def test_bits_slash_form(self):
+        assert parse_bandwidth("1 Gb/s") == 1e9
+
+    def test_scientific_notation(self):
+        assert parse_bandwidth("1.5e2Mbps") == 1.5e8
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown bandwidth unit"):
+            parse_bandwidth("10 furlongs")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_bandwidth("fast")
+
+
+class TestFormatBandwidth:
+    def test_gbps_range(self):
+        assert format_bandwidth(1e9) == "1 Gbps"
+
+    def test_mbps_range(self):
+        assert format_bandwidth(1.1e7) == "11 Mbps"
+
+    def test_bps_range(self):
+        assert format_bandwidth(12.0) == "12 bps"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bandwidth(-1)
+
+
+class TestDistance:
+    def test_builders(self):
+        assert um(2) == 2e-6
+        assert mm(3) == 3e-3
+        assert cm(4) == 4e-2
+        assert meters(5) == 5.0
+        assert km(6) == 6e3
+
+    def test_parse_mm(self):
+        assert parse_distance("0.6mm") == pytest.approx(6e-4)
+
+    def test_parse_km_with_space(self):
+        assert parse_distance("97 km") == 97e3
+
+    def test_parse_micron_both_spellings(self):
+        assert parse_distance("5um") == pytest.approx(5e-6)
+        assert parse_distance("5µm") == pytest.approx(5e-6)
+
+    def test_parse_plain(self):
+        assert parse_distance("12.5") == 12.5
+
+    def test_parse_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown distance unit"):
+            parse_distance("3 parsec")
+
+    def test_format_roundtrips_prefix(self):
+        assert format_distance(6e-4) == "0.6 mm"
+        assert format_distance(97e3) == "97 km"
+        assert format_distance(0.0) == "0 m"
+        assert format_distance(2.5) == "2.5 m"
