@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
+    Budget,
     CommunicationLibrary,
     ConstraintGraph,
     Link,
@@ -43,7 +44,10 @@ library.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=10.0))
 library.add_node(NodeSpec("repeater", NodeKind.REPEATER, cost=5.0))
 
 # 3. Synthesize the minimum-cost architecture (exact algorithm).
-result = synthesize(graph, library)
+#    The 30 s budget makes the run supervised: if the exact solver ever
+#    blew its deadline, the anytime fallback chain would still return a
+#    valid architecture — with an honest quality tag instead of a hang.
+result = synthesize(graph, library, budget=Budget(deadline_s=30.0))
 
 print(synthesis_report(result, title="Quickstart synthesis"))
 print()
@@ -52,3 +56,4 @@ if result.merged_groups:
         print(f"-> channels {', '.join(group)} share one trunk")
 else:
     print("-> every channel got a dedicated link")
+print(f"-> result quality: {result.degradation.quality.value}")

@@ -26,6 +26,8 @@ from .core import (  # noqa: F401
     ArcImplementationKind,
     ArcMatrices,
     AssumptionViolation,
+    BudgetExceeded,
+    TransientSolverError,
     AuditReport,
     audit_result,
     Candidate,
@@ -83,6 +85,17 @@ from .covering import (  # noqa: F401
     solve_cover,
     solve_exhaustive,
     solve_ilp,
+)
+from .runtime import (  # noqa: F401
+    Budget,
+    BudgetTracker,
+    DegradationReport,
+    FaultInjector,
+    FaultSpec,
+    ResultQuality,
+    RetryPolicy,
+    StageAttempt,
+    Supervisor,
 )
 
 __version__ = "1.0.0"

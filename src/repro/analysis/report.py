@@ -141,4 +141,6 @@ def synthesis_report(result: SynthesisResult, title: Optional[str] = None) -> st
         f"  components: {len(impl.communication_vertices)} nodes, {len(impl.arcs)} link instances"
     )
     lines.append(f"  elapsed: {result.elapsed_seconds:.3f} s")
+    if result.degradation is not None:
+        lines.append(f"  result quality: {result.degradation.quality.value}")
     return "\n".join(lines)

@@ -23,13 +23,14 @@ import json
 import sys
 from typing import List, Optional
 
-from . import PruningLevel, SynthesisOptions, compute_matrices, synthesize
+from . import Budget, PruningLevel, SynthesisOptions, compute_matrices, synthesize
 from .analysis import (
     format_delta_table,
     format_gamma_table,
     render_implementation_svg,
     synthesis_report,
 )
+from .core.exceptions import BudgetExceeded, InfeasibleError, ValidationError
 from .io import (
     implementation_to_dot,
     load_instance,
@@ -37,9 +38,39 @@ from .io import (
     synthesis_result_to_dict,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "EXIT_INFEASIBLE",
+    "EXIT_BUDGET_EXCEEDED",
+    "EXIT_VALIDATION_FAILURE",
+]
 
 _DEMOS = ("wan", "mpeg4", "lan", "soc")
+
+#: exit-code taxonomy (also in every subcommand's --help epilog):
+#: 0 = success, 1 = runtime failure, 2 = infeasible instance (or a
+#: usage error, per argparse convention), 3 = budget exceeded before a
+#: servable result, 4 = Definition 2.4 validation failure.
+EXIT_INFEASIBLE = 2
+EXIT_BUDGET_EXCEEDED = 3
+EXIT_VALIDATION_FAILURE = 4
+
+_EXIT_CODES_EPILOG = (
+    "exit codes: 0 success; 1 unexpected failure; 2 infeasible instance; "
+    "3 budget exceeded before any servable result "
+    "(see --deadline / --on-budget-exhausted); 4 validation failure"
+)
+
+
+def _nonnegative_seconds(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be nonnegative, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,10 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Constraint-driven communication synthesis (DAC 2002).",
+        epilog=_EXIT_CODES_EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    syn = sub.add_parser("synthesize", help="synthesize a JSON instance")
+    syn = sub.add_parser(
+        "synthesize", help="synthesize a JSON instance", epilog=_EXIT_CODES_EPILOG
+    )
     syn.add_argument("instance", help="instance file from repro.io.save_instance")
     syn.add_argument("--max-arity", type=int, default=None, help="cap merge size K")
     syn.add_argument(
@@ -61,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     syn.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
     syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
+    syn.add_argument(
+        "--deadline",
+        type=_nonnegative_seconds,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; the run becomes supervised (anytime "
+        "fallback chain bnb -> ilp -> greedy) and reports result quality",
+    )
+    syn.add_argument(
+        "--on-budget-exhausted",
+        choices=("fail", "degrade"),
+        default="degrade",
+        help="when the --deadline budget runs out: 'degrade' (default) "
+        "serves the best incumbent with a quality tag; 'fail' exits 3",
+    )
     syn.add_argument("--out", help="write a JSON result summary here")
     syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
     syn.add_argument("--dot", help="write a Graphviz DOT export here")
@@ -136,10 +185,14 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         max_arity=args.max_arity,
         ucp_solver=args.solver,
         validate_result=not args.no_validate,
+        on_budget_exhausted=args.on_budget_exhausted,
     )
-    result = synthesize(graph, library, options)
+    budget = Budget(deadline_s=args.deadline) if args.deadline is not None else None
+    result = synthesize(graph, library, options, budget=budget)
     if not args.quiet:
         print(synthesis_report(result, title=f"Synthesis of {args.instance}"))
+        if result.degradation is not None:
+            print(f"runtime: {result.degradation.summary()}")
     if args.out:
         with open(args.out, "w") as f:
             json.dump(synthesis_result_to_dict(result), f, indent=2, sort_keys=True)
@@ -244,7 +297,12 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Maps the exception taxonomy to distinct exit codes (documented in
+    ``--help``): infeasible instances exit 2, exhausted budgets exit 3,
+    Definition 2.4 validation failures exit 4.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "synthesize": _cmd_synthesize,
@@ -254,7 +312,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "pareto": _cmd_pareto,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BudgetExceeded as exc:
+        # before InfeasibleError/ValidationError: it subclasses CoveringError
+        print(f"error: budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET_EXCEEDED
+    except InfeasibleError as exc:
+        print(f"error: infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    except ValidationError as exc:
+        print(f"error: validation failed: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

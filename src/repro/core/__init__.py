@@ -10,11 +10,13 @@ from .candidates import Candidate, CandidateSet, GenerationStats, PruningLevel, 
 from .constraint_graph import Arc, ConstraintGraph, Port
 from .exceptions import (
     AssumptionViolation,
+    BudgetExceeded,
     CoveringError,
     InfeasibleError,
     LibraryError,
     ModelError,
     SynthesisError,
+    TransientSolverError,
     ValidationError,
 )
 from .geometry import (

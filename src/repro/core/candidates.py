@@ -34,8 +34,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
+from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .constraint_graph import ConstraintGraph
-from .exceptions import InfeasibleError
+from .exceptions import BudgetExceeded, InfeasibleError
 from .library import CommunicationLibrary
 from .matrices import ArcMatrices, compute_matrices
 from .merging import MergingPlan, build_merging_plan
@@ -109,6 +110,10 @@ class GenerationStats:
     pruned_apriori: int = 0
     pruned_hops: int = 0
     infeasible_plans: int = 0
+    #: merging enumeration was cut short by a wall-clock/node budget —
+    #: the point-to-point candidates are complete (feasibility holds)
+    #: but the optimum may use a merging that was never generated.
+    budget_truncated: bool = False
     #: surviving merge-subset count per arity K (the paper's Fig. 4 text
     #: reports 13 / 21 / 16 / 5 for K = 2..5 on the WAN example).
     survivors_by_k: Dict[int, int] = field(default_factory=dict)
@@ -149,6 +154,7 @@ def generate_candidates(
     max_merge_hops: Optional[int] = None,
     polish_placement: bool = True,
     hop_penalty: float = 0.0,
+    budget: Union[Budget, BudgetTracker, None] = None,
 ) -> CandidateSet:
     """Run Figure 2's candidate generation on ``graph`` over ``library``.
 
@@ -172,14 +178,24 @@ def generate_candidates(
 
     Raises :class:`InfeasibleError` if some arc has no point-to-point
     implementation at all (then no implementation graph exists either).
+
+    ``budget`` adds cooperative checkpoints to every enumeration loop.
+    The mandatory point-to-point pass raises
+    :class:`~repro.core.exceptions.BudgetExceeded` when interrupted
+    (without it nothing is feasible); the optional merging enumeration
+    instead *truncates* — the candidates generated so far are returned
+    and ``stats.budget_truncated`` is set, preserving feasibility at
+    the price of possible suboptimality.
     """
     stats = GenerationStats()
+    tracker = as_tracker(budget)
     arcs = graph.arcs
     n = len(arcs)
 
     p2p_candidates: List[Candidate] = []
     p2p_cost: Dict[str, float] = {}
     for arc in arcs:
+        tracker.checkpoint("candidates.p2p")
         plan: Union[PointToPointPlan, MixedChainPlan]
         plan = best_point_to_point(arc.distance, arc.bandwidth, library)
         if heterogeneous:
@@ -196,7 +212,8 @@ def generate_candidates(
     if n >= 2:
         matrices = compute_matrices(graph)
         mergings = _enumerate_mergings(
-            graph, library, matrices, pruning, max_arity, stats, polish_placement
+            graph, library, matrices, pruning, max_arity, stats, polish_placement,
+            tracker=tracker,
         )
 
     if max_merge_hops is not None:
@@ -243,8 +260,15 @@ def _enumerate_mergings(
     max_arity: Optional[int],
     stats: GenerationStats,
     polish_placement: bool = True,
+    tracker: Optional[BudgetTracker] = None,
 ) -> List[Candidate]:
-    """The main loop of Figure 2: increasing K, shrinking active set."""
+    """The main loop of Figure 2: increasing K, shrinking active set.
+
+    On :class:`BudgetExceeded` from a checkpoint the enumeration stops
+    and the candidates built so far are returned (anytime behavior);
+    ``stats.budget_truncated`` records the cut.
+    """
+    tracker = tracker if tracker is not None else as_tracker(None)
     n = matrices.size
     names = matrices.arc_names
     active: List[int] = list(range(n))
@@ -259,6 +283,11 @@ def _enumerate_mergings(
             break
         survivors_k: List[Tuple[int, ...]] = []
         for subset in itertools.combinations(active, k):
+            try:
+                tracker.checkpoint("candidates.subset")
+            except BudgetExceeded:
+                stats.budget_truncated = True
+                return candidates
             stats.subsets_enumerated += 1
             if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
                 raise InfeasibleError(
@@ -287,6 +316,11 @@ def _enumerate_mergings(
             break
 
         for subset in survivors_k:
+            try:
+                tracker.checkpoint("candidates.plan")
+            except BudgetExceeded:
+                stats.budget_truncated = True
+                return candidates
             plan = build_merging_plan(
                 graph, [names[i] for i in subset], library,
                 polish_placement=polish_placement,

@@ -15,6 +15,8 @@ __all__ = [
     "InfeasibleError",
     "ValidationError",
     "CoveringError",
+    "BudgetExceeded",
+    "TransientSolverError",
 ]
 
 
@@ -51,3 +53,27 @@ class ValidationError(SynthesisError):
 class CoveringError(SynthesisError):
     """A covering-problem instance is malformed or unsolvable (a row
     with no covering column)."""
+
+
+class BudgetExceeded(CoveringError):
+    """A wall-clock deadline or node budget ran out before the solver
+    finished.
+
+    ``partial`` carries the best *feasible* solution found before the
+    budget expired (a ``CoverSolution`` with ``optimal=False``), or
+    ``None`` when no incumbent existed yet — callers that prefer a
+    degraded answer over a failure inspect it instead of re-raising.
+    ``reason`` distinguishes ``"deadline"`` from ``"nodes"`` exhaustion
+    (fault injection uses ``"injected-..."`` variants).
+    """
+
+    def __init__(self, message: str, reason: str = "deadline", partial=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.partial = partial
+
+
+class TransientSolverError(SynthesisError):
+    """A solver stage failed for a reason that may not recur (resource
+    hiccup, injected fault).  The runtime supervisor retries these with
+    exponential backoff before falling back to the next stage."""

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..covering.bnb import SolverOptions, solve_cover
 from ..covering.ilp import solve_ilp
 from ..covering.matrix import Column, CoverSolution, CoveringProblem
+from ..runtime.budget import Budget, BudgetTracker, as_tracker
+from ..runtime.report import DegradationReport
+from ..runtime.supervisor import Supervisor
 from .candidates import Candidate, CandidateSet, PruningLevel, generate_candidates
 from .constraint_graph import ConstraintGraph
 from .exceptions import SynthesisError
@@ -71,6 +74,10 @@ class SynthesisOptions:
     ucp_solver: str = "bnb"
     solver_options: SolverOptions = field(default_factory=SolverOptions)
     validate_result: bool = True
+    #: budgeted runs only: on budget exhaustion either serve the best
+    #: incumbent with an honest quality tag (``"degrade"``, default) or
+    #: raise :class:`~repro.core.exceptions.BudgetExceeded` (``"fail"``).
+    on_budget_exhausted: str = "degrade"
 
 
 @dataclass
@@ -87,6 +94,10 @@ class SynthesisResult:
     #: (Definition 2.6) — the no-merging baseline, for the savings ratio.
     point_to_point_cost: float
     elapsed_seconds: float
+    #: audit trail of the supervised run (None for unbudgeted runs):
+    #: which fallback stages ran, and how trustworthy the result is
+    #: (``optimal`` / ``feasible_suboptimal`` / ``degraded_greedy``).
+    degradation: Optional[DegradationReport] = None
 
     @property
     def savings(self) -> float:
@@ -155,10 +166,18 @@ def materialize_selection(
     return impl
 
 
+def _fallback_stages(ucp_solver: str) -> Sequence[str]:
+    """The anytime chain, starting from the configured exact engine."""
+    if ucp_solver == "bnb":
+        return ("bnb", "ilp", "greedy")
+    return ("ilp", "bnb", "greedy")
+
+
 def synthesize(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
     options: Optional[SynthesisOptions] = None,
+    budget: Union[Budget, BudgetTracker, None] = None,
 ) -> SynthesisResult:
     """Solve Problem 2.1 exactly for ``graph`` over ``library``.
 
@@ -167,13 +186,25 @@ def synthesize(
     Raises :class:`~repro.core.exceptions.InfeasibleError` when some arc
     has no implementation, :class:`SynthesisError` on configuration
     mistakes.
+
+    With a ``budget`` the run is *supervised*: every hot loop gains
+    cooperative checkpoints against the wall-clock/node budget, and the
+    covering step runs the anytime fallback chain (``bnb -> ilp ->
+    greedy`` with per-stage timeouts and retry).  On budget exhaustion
+    the best feasible incumbent is returned — never an exception, as
+    long as one exists and ``options.on_budget_exhausted`` is
+    ``"degrade"`` — with ``result.degradation`` recording what happened
+    and how trustworthy the answer is.
     """
     options = options or SynthesisOptions()
     if len(graph) == 0:
         raise SynthesisError("constraint graph has no arcs — nothing to synthesize")
+    if options.ucp_solver not in ("bnb", "ilp"):
+        raise SynthesisError(f"unknown ucp_solver {options.ucp_solver!r} (use 'bnb' or 'ilp')")
     library.validate()
 
     start = time.perf_counter()
+    tracker = as_tracker(budget) if budget is not None else None
     candidates = generate_candidates(
         graph,
         library,
@@ -184,15 +215,25 @@ def synthesize(
         max_merge_hops=options.max_merge_hops,
         polish_placement=options.polish_placement,
         hop_penalty=options.hop_penalty,
+        budget=tracker,
     )
     covering = build_covering_problem(graph, candidates)
 
-    if options.ucp_solver == "bnb":
+    report: Optional[DegradationReport] = None
+    if tracker is not None:
+        supervisor = Supervisor(
+            budget=tracker,
+            stages=_fallback_stages(options.ucp_solver),
+            solver_options=options.solver_options,
+            on_budget_exhausted=options.on_budget_exhausted,
+        )
+        cover, report = supervisor.solve(
+            covering, candidate_set_complete=not candidates.stats.budget_truncated
+        )
+    elif options.ucp_solver == "bnb":
         cover = solve_cover(covering, options.solver_options)
-    elif options.ucp_solver == "ilp":
-        cover = solve_ilp(covering)
     else:
-        raise SynthesisError(f"unknown ucp_solver {options.ucp_solver!r} (use 'bnb' or 'ilp')")
+        cover = solve_ilp(covering)
 
     by_label = {c.label(): c for c in candidates.all}
     selected = [by_label[name] for name in cover.column_names]
@@ -202,6 +243,8 @@ def synthesize(
         validate(impl, graph)
 
     elapsed = time.perf_counter() - start
+    if report is not None:
+        report.elapsed_s = elapsed  # account materialization + validation too
     return SynthesisResult(
         implementation=impl,
         selected=selected,
@@ -211,4 +254,5 @@ def synthesize(
         cover=cover,
         point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
         elapsed_seconds=elapsed,
+        degradation=report,
     )

@@ -19,9 +19,10 @@ off for the UCP ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..core.exceptions import CoveringError
+from ..core.exceptions import BudgetExceeded, CoveringError, InfeasibleError
+from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .bounds import best_lower_bound
 from .matrix import CoverSolution, CoveringProblem
 from .reductions import ReducedState, reduce_to_fixpoint
@@ -37,18 +38,28 @@ class SolverOptions:
     use_lower_bounds: bool = True
     use_lp_bound: bool = True
     lp_row_limit: int = 64
-    #: hard cap on explored nodes; exceeded ⇒ CoveringError (never silently
-    #: returns a suboptimal answer).
+    #: hard cap on explored nodes; exceeded ⇒ BudgetExceeded carrying the
+    #: best incumbent so far in ``.partial`` (never *silently* suboptimal).
     max_nodes: int = 5_000_000
 
 
-def greedy_cover(problem: CoveringProblem) -> CoverSolution:
+def greedy_cover(
+    problem: CoveringProblem,
+    budget: Union[Budget, BudgetTracker, None] = None,
+    site: str = "greedy.select",
+) -> CoverSolution:
     """Weight-greedy feasible cover: repeatedly take the column with the
     best uncovered-rows-per-weight ratio.  Used to seed the incumbent;
-    also a baseline in its own right (marked non-optimal)."""
+    also the last resort of the runtime fallback chain (non-optimal).
+
+    ``budget`` adds a cooperative checkpoint (fault-injection site
+    ``site``) per selection; :class:`BudgetExceeded` then interrupts the
+    loop cleanly."""
     problem.validate_coverable()
+    tracker = as_tracker(budget)
     state = ReducedState.initial(problem)
     while not state.solved:
+        tracker.checkpoint(site)
         best_name: Optional[str] = None
         best_ratio = -1.0
         for name in sorted(state.columns):
@@ -61,7 +72,12 @@ def greedy_cover(problem: CoveringProblem) -> CoverSolution:
                 best_ratio = ratio
                 best_name = name
         if best_name is None:
-            raise CoveringError("greedy ran out of useful columns — infeasible instance")
+            uncovered = ", ".join(sorted(state.rows))
+            raise InfeasibleError(
+                f"greedy ran out of useful columns — rows [{uncovered}] cannot "
+                f"be covered by the remaining candidates (truly infeasible, "
+                f"not a budget problem)"
+            )
         state.select(best_name)
     return CoverSolution(
         column_names=tuple(state.selected), weight=state.cost, optimal=False
@@ -74,20 +90,25 @@ class _Search:
     options: SolverOptions
     best_cost: float
     best_selection: Tuple[str, ...]
+    tracker: BudgetTracker = field(default_factory=lambda: as_tracker(None))
     nodes: int = 0
     reductions_applied: int = 0
 
     def run(self, state: ReducedState) -> None:
         self.nodes += 1
         if self.nodes > self.options.max_nodes:
-            raise CoveringError(
-                f"branch-and-bound exceeded max_nodes={self.options.max_nodes}"
+            raise BudgetExceeded(
+                f"branch-and-bound exceeded max_nodes={self.options.max_nodes}",
+                reason="nodes",
             )
+        self.tracker.charge_node("bnb.node")
 
         if self.options.use_reductions:
             try:
                 reduce_to_fixpoint(state)
                 self.reductions_applied += 1
+            except BudgetExceeded:
+                raise
             except CoveringError:
                 return  # infeasible branch
         if state.cost >= self.best_cost:
@@ -137,28 +158,51 @@ class _Search:
 
 
 def solve_cover(
-    problem: CoveringProblem, options: Optional[SolverOptions] = None
+    problem: CoveringProblem,
+    options: Optional[SolverOptions] = None,
+    budget: Union[Budget, BudgetTracker, None] = None,
 ) -> CoverSolution:
     """Solve the weighted UCP exactly.
 
     Returns a :class:`CoverSolution` with ``optimal=True`` and solver
-    statistics.  Raises :class:`CoveringError` on infeasible instances
-    or when ``max_nodes`` is exhausted.
+    statistics.  Raises :class:`CoveringError` on infeasible instances.
+    When ``max_nodes`` or the ``budget`` (wall-clock deadline / global
+    node cap) is exhausted, raises :class:`BudgetExceeded` with the best
+    feasible incumbent found so far attached as ``.partial`` — the
+    greedy seed guarantees one exists — so callers can degrade
+    gracefully instead of failing.
     """
     options = options or SolverOptions()
     problem.validate_coverable()
+    tracker = as_tracker(budget)
 
     if problem.n_rows == 0:
         return CoverSolution(column_names=(), weight=0.0, optimal=True, stats={"nodes": 0})
 
-    incumbent = greedy_cover(problem)
+    tracker.checkpoint("bnb.start")
+    incumbent = greedy_cover(problem, budget=tracker, site="bnb.seed")
     search = _Search(
         problem=problem,
         options=options,
         best_cost=incumbent.weight,
         best_selection=tuple(sorted(incumbent.column_names)),
+        tracker=tracker,
     )
-    search.run(ReducedState.initial(problem))
+    try:
+        search.run(ReducedState.initial(problem))
+    except BudgetExceeded as exc:
+        partial = CoverSolution(
+            column_names=search.best_selection,
+            weight=search.best_cost,
+            optimal=False,
+            stats={
+                "nodes": search.nodes,
+                "reductions": search.reductions_applied,
+                "greedy_seed_weight": incumbent.weight,
+            },
+        )
+        problem.check_solution(partial)
+        raise BudgetExceeded(str(exc), reason=exc.reason, partial=partial) from exc
 
     solution = CoverSolution(
         column_names=search.best_selection,

@@ -19,12 +19,13 @@ ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import optimize
 
-from ..core.exceptions import CoveringError
+from ..core.exceptions import BudgetExceeded, CoveringError
+from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .matrix import CoverSolution, CoveringProblem
 
 __all__ = ["solve_ilp"]
@@ -51,12 +52,19 @@ def _lp(problem_arrays, fixed_zero: frozenset, fixed_one: frozenset):
     return optimize.linprog(weights, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
 
 
-def solve_ilp(problem: CoveringProblem, max_nodes: int = 200_000) -> CoverSolution:
+def solve_ilp(
+    problem: CoveringProblem,
+    max_nodes: int = 200_000,
+    budget: Union[Budget, BudgetTracker, None] = None,
+) -> CoverSolution:
     """Solve the covering instance as a 0-1 ILP; exact.
 
-    Raises :class:`CoveringError` on infeasibility or node exhaustion.
+    Raises :class:`CoveringError` on infeasibility.  Node or ``budget``
+    (deadline) exhaustion raises :class:`BudgetExceeded` with the best
+    integral incumbent found so far (if any) attached as ``.partial``.
     """
     problem.validate_coverable()
+    tracker = as_tracker(budget)
     cols = problem.columns
     if not cols:
         if problem.n_rows == 0:
@@ -80,11 +88,30 @@ def solve_ilp(problem: CoveringProblem, max_nodes: int = 200_000) -> CoverSoluti
     stack: List[_Node] = [_Node(frozenset(), frozenset())]
     nodes = 0
 
+    def _partial() -> Optional[CoverSolution]:
+        if best_x is None:
+            return None
+        chosen = tuple(sorted(names[j] for j in range(n) if best_x[j] == 1))
+        return CoverSolution(
+            column_names=chosen, weight=best_weight, optimal=False, stats={"nodes": nodes}
+        )
+
+    tracker.checkpoint("ilp.start")
     while stack:
         node = stack.pop()
         nodes += 1
         if nodes > max_nodes:
-            raise CoveringError(f"ILP branch-and-bound exceeded max_nodes={max_nodes}")
+            raise BudgetExceeded(
+                f"ILP branch-and-bound exceeded max_nodes={max_nodes}",
+                reason="nodes",
+                partial=_partial(),
+            )
+        try:
+            tracker.charge_node("ilp.node")
+        except BudgetExceeded as exc:
+            raise BudgetExceeded(
+                str(exc), reason=exc.reason, partial=exc.partial or _partial()
+            ) from exc
         res = _lp(arrays, node.fixed_zero, node.fixed_one)
         if not res.success:
             continue  # infeasible subproblem

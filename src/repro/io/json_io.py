@@ -138,6 +138,7 @@ def synthesis_result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
         "communication_vertices": len(impl.communication_vertices),
         "link_instances": len(impl.arcs),
         "elapsed_seconds": result.elapsed_seconds,
+        "degradation": result.degradation.to_dict() if result.degradation else None,
     }
 
 

@@ -1,0 +1,55 @@
+"""Resilient synthesis runtime: budgets, fault injection, supervision.
+
+- :mod:`repro.runtime.budget` — :class:`Budget`/:class:`BudgetTracker`,
+  the wall-clock + node budgets threaded through every hot loop via
+  cooperative checkpoints;
+- :mod:`repro.runtime.faults` — deterministic, seeded fault injection
+  at named checkpoint sites (the degradation paths are under test);
+- :mod:`repro.runtime.report` — :class:`ResultQuality` tags and the
+  :class:`DegradationReport` audit trail;
+- :mod:`repro.runtime.supervisor` — the anytime fallback chain
+  ``bnb -> ilp -> greedy`` with per-stage timeouts and retry.
+
+``Supervisor``/``RetryPolicy`` are loaded lazily: the covering solvers
+import this package for checkpoints, and the supervisor imports the
+covering solvers — deferring one edge keeps the import graph acyclic.
+"""
+
+from __future__ import annotations
+
+from .budget import Budget, BudgetTracker, as_tracker  # noqa: F401
+from .faults import (  # noqa: F401
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    active_injector,
+    fault_point,
+)
+from .report import DegradationReport, ResultQuality, StageAttempt  # noqa: F401
+
+__all__ = [
+    "Budget",
+    "BudgetTracker",
+    "as_tracker",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "active_injector",
+    "fault_point",
+    "DegradationReport",
+    "ResultQuality",
+    "StageAttempt",
+    "DEFAULT_STAGES",
+    "RetryPolicy",
+    "Supervisor",
+]
+
+_LAZY = ("DEFAULT_STAGES", "RetryPolicy", "Supervisor")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import supervisor as _supervisor
+
+        return getattr(_supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for the resilient runtime.
+
+Every cooperative checkpoint in the synthesis pipeline calls
+:func:`fault_point` with a *site name* (``"bnb.node"``, ``"ilp.node"``,
+``"greedy.select"``, ``"candidates.subset"``, ...).  With no injector
+active this is a no-op; inside a :class:`FaultInjector` context the
+site is matched against the configured :class:`FaultSpec` list and the
+corresponding synthetic failure is raised.
+
+The harness is **deterministic**: firing decisions come from a seeded
+``random.Random`` plus per-site hit counters, so two runs with the same
+plan and seed inject exactly the same faults at exactly the same
+points.  That makes the degradation paths themselves unit-testable.
+
+Example — force the branch-and-bound to "time out" after 100 nodes::
+
+    plan = [FaultSpec(site="bnb.node", kind="timeout", after=100)]
+    with FaultInjector(plan, seed=7):
+        result = synthesize(graph, library, budget=Budget(deadline_s=5))
+    assert result.degradation.quality is not ResultQuality.OPTIMAL
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.exceptions import BudgetExceeded, TransientSolverError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultInjector",
+    "fault_point",
+    "active_injector",
+]
+
+#: supported synthetic failure kinds:
+#: ``timeout`` — raises :class:`BudgetExceeded` (reason ``injected-timeout``);
+#: ``node_budget`` — raises :class:`BudgetExceeded` (reason ``injected-node-budget``);
+#: ``error`` — raises :class:`TransientSolverError` (retryable).
+FAULT_KINDS = ("timeout", "node_budget", "error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    ``site`` is an ``fnmatch`` pattern over checkpoint site names
+    (``"bnb.*"`` matches every branch-and-bound site).  The rule fires
+    on a matching hit once the site has already been hit ``after``
+    times, at most ``times`` times total (``None`` = unlimited), each
+    time with probability ``probability`` drawn from the injector's
+    seeded RNG.  ``exception`` overrides the ``kind``-derived exception
+    with a custom factory ``(message) -> Exception``.
+    """
+
+    site: str
+    kind: str = "error"
+    probability: float = 1.0
+    after: int = 0
+    times: Optional[int] = None
+    message: str = ""
+    exception: Optional[Callable[[str], Exception]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS and self.exception is None:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use one of {FAULT_KINDS})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.after < 0:
+            raise ValueError(f"after must be nonnegative, got {self.after}")
+        if self.times is not None and self.times <= 0:
+            raise ValueError(f"times must be positive or None, got {self.times}")
+
+    def build_exception(self, site: str) -> Exception:
+        """The exception this spec raises when it fires at ``site``."""
+        msg = self.message or f"injected {self.kind} fault at {site!r}"
+        if self.exception is not None:
+            return self.exception(msg)
+        if self.kind == "timeout":
+            return BudgetExceeded(msg, reason="injected-timeout")
+        if self.kind == "node_budget":
+            return BudgetExceeded(msg, reason="injected-node-budget")
+        return TransientSolverError(msg)
+
+
+class FaultInjector:
+    """Seeded, context-managed registry of :class:`FaultSpec` rules.
+
+    Entering the context activates the injector for every
+    :func:`fault_point` call until exit; contexts nest (the innermost
+    injector wins) and always restore the previous state, so a failed
+    test cannot leak faults into the next one.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._site_hits: Dict[str, int] = {}
+        self._spec_fires: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+
+    # ------------------------------------------------------------------
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been reached so far."""
+        return self._site_hits.get(site, 0)
+
+    @property
+    def total_fired(self) -> int:
+        """Total faults injected so far."""
+        return sum(self._spec_fires.values())
+
+    def fire(self, site: str) -> None:
+        """Record a hit of ``site``; raise if some spec decides to fire."""
+        seen = self._site_hits.get(site, 0)
+        self._site_hits[site] = seen + 1
+        for i, spec in enumerate(self.specs):
+            if not fnmatchcase(site, spec.site):
+                continue
+            if seen < spec.after:
+                continue
+            if spec.times is not None and self._spec_fires[i] >= spec.times:
+                continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            self._spec_fires[i] += 1
+            raise spec.build_exception(site)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE.remove(self)
+
+
+_ACTIVE: List[FaultInjector] = []
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The innermost active injector, or None outside any context."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def fault_point(site: str) -> None:
+    """Checkpoint hook: no-op unless a :class:`FaultInjector` is active."""
+    if _ACTIVE:
+        _ACTIVE[-1].fire(site)

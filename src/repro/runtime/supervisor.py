@@ -1,0 +1,246 @@
+"""Anytime fallback chain for the covering step: bnb -> ilp -> greedy.
+
+The exact branch-and-bound is the right default, but on hard instances
+it can exhaust any budget.  The :class:`Supervisor` wraps the covering
+step in operational discipline:
+
+- **per-stage timeouts** — each stage runs under a child
+  :class:`~repro.runtime.budget.BudgetTracker` holding a share of the
+  remaining global deadline, so one stuck stage cannot starve the
+  fallbacks;
+- **retry with exponential backoff** — transient faults
+  (:class:`~repro.core.exceptions.TransientSolverError`) are retried a
+  bounded number of times before falling through to the next stage;
+- **anytime results** — a stage interrupted by its budget contributes
+  its best incumbent (``BudgetExceeded.partial``); when no stage
+  completes, the best incumbent is served instead of raising (policy
+  ``"degrade"``, the default) with an honest quality tag in the
+  :class:`~repro.runtime.report.DegradationReport`.
+
+Only a truly infeasible instance, or total exhaustion with *no*
+feasible incumbent, still raises.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..core.exceptions import (
+    BudgetExceeded,
+    InfeasibleError,
+    SynthesisError,
+    TransientSolverError,
+)
+from ..covering.bnb import SolverOptions, greedy_cover, solve_cover
+from ..covering.ilp import solve_ilp
+from ..covering.matrix import CoverSolution, CoveringProblem
+from .budget import Budget, BudgetTracker, as_tracker
+from .faults import fault_point
+from .report import DegradationReport, ResultQuality, StageAttempt
+
+__all__ = ["RetryPolicy", "Supervisor", "DEFAULT_STAGES"]
+
+DEFAULT_STAGES: Tuple[str, ...] = ("bnb", "ilp", "greedy")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient stage failures are retried."""
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base_s must be >= 0 and backoff_factor >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep after the ``attempt``-th failure (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+class Supervisor:
+    """Deadline-aware orchestrator of the covering fallback chain."""
+
+    def __init__(
+        self,
+        budget: Union[Budget, BudgetTracker, None] = None,
+        stages: Sequence[str] = DEFAULT_STAGES,
+        solver_options: Optional[SolverOptions] = None,
+        retry: Optional[RetryPolicy] = None,
+        stage_share: float = 0.5,
+        on_budget_exhausted: str = "degrade",
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        unknown = [s for s in stages if s not in DEFAULT_STAGES]
+        if unknown:
+            raise ValueError(f"unknown stages {unknown} (choose from {DEFAULT_STAGES})")
+        if not stages:
+            raise ValueError("at least one stage is required")
+        if on_budget_exhausted not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_budget_exhausted must be 'fail' or 'degrade', got {on_budget_exhausted!r}"
+            )
+        self.budget = budget
+        self.stages = tuple(stages)
+        self.solver_options = solver_options or SolverOptions()
+        self.retry = retry or RetryPolicy()
+        self.stage_share = stage_share
+        self.on_budget_exhausted = on_budget_exhausted
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self, stage: str, problem: CoveringProblem, tracker: BudgetTracker
+    ) -> CoverSolution:
+        if stage == "bnb":
+            return solve_cover(problem, self.solver_options, budget=tracker)
+        if stage == "ilp":
+            return solve_ilp(problem, budget=tracker)
+        return greedy_cover(problem, budget=tracker)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, problem: CoveringProblem, candidate_set_complete: bool = True
+    ) -> Tuple[CoverSolution, DegradationReport]:
+        """Run the chain; return the served cover and its audit trail.
+
+        Raises :class:`InfeasibleError`/:class:`CoveringError` on truly
+        infeasible instances, and :class:`BudgetExceeded` when nothing
+        feasible was found in time (or, under the ``"fail"`` policy,
+        whenever the result would be less than optimal — the best
+        incumbent rides along in ``.partial``).
+        """
+        problem.validate_coverable()  # infeasibility is not a degradation case
+        tracker = as_tracker(self.budget)
+        attempts: List[StageAttempt] = []
+        # best interrupted-stage incumbent: (weight, solution, source)
+        incumbent: Optional[Tuple[float, CoverSolution, str]] = None
+        completed: Optional[Tuple[CoverSolution, str]] = None
+
+        for index, stage in enumerate(self.stages):
+            if completed is not None:
+                break
+            if tracker.expired():
+                attempts.append(
+                    StageAttempt(stage, 0, "skipped", detail="global deadline exhausted")
+                )
+                continue
+            is_last = index == len(self.stages) - 1
+            for attempt in range(1, self.retry.max_attempts + 1):
+                stage_tracker = tracker.stage(share=1.0 if is_last else self.stage_share)
+                t0 = time.perf_counter()
+                try:
+                    fault_point(f"supervisor.{stage}")
+                    solution = self._run_stage(stage, problem, stage_tracker)
+                    attempts.append(
+                        StageAttempt(stage, attempt, "completed", time.perf_counter() - t0)
+                    )
+                    completed = (solution, stage)
+                    break
+                except BudgetExceeded as exc:
+                    attempts.append(
+                        StageAttempt(
+                            stage, attempt, "budget_exceeded",
+                            time.perf_counter() - t0, detail=str(exc),
+                        )
+                    )
+                    if exc.partial is not None and (
+                        incumbent is None or exc.partial.weight < incumbent[0] - 1e-12
+                    ):
+                        incumbent = (exc.partial.weight, exc.partial, f"{stage}-partial")
+                    break  # a budget does not come back: fall through to the next stage
+                except TransientSolverError as exc:
+                    elapsed = time.perf_counter() - t0
+                    retriable = attempt < self.retry.max_attempts and not tracker.expired()
+                    backoff = 0.0
+                    if retriable:
+                        backoff = min(
+                            self.retry.backoff_s(attempt),
+                            max(0.0, tracker.remaining_s()),
+                        )
+                    attempts.append(
+                        StageAttempt(
+                            stage, attempt, "transient_error",
+                            elapsed, detail=str(exc), backoff_s=backoff,
+                        )
+                    )
+                    if not retriable:
+                        break
+                    if backoff > 0:
+                        self._sleep(backoff)
+                except InfeasibleError:
+                    raise  # no budget can fix a truly infeasible instance
+                except SynthesisError as exc:
+                    attempts.append(
+                        StageAttempt(
+                            stage, attempt, "error",
+                            time.perf_counter() - t0, detail=str(exc),
+                        )
+                    )
+                    break  # hard failure: no retry, fall through
+
+        return self._conclude(tracker, attempts, completed, incumbent, candidate_set_complete)
+
+    # ------------------------------------------------------------------
+    def _conclude(
+        self,
+        tracker: BudgetTracker,
+        attempts: List[StageAttempt],
+        completed: Optional[Tuple[CoverSolution, str]],
+        incumbent: Optional[Tuple[float, CoverSolution, str]],
+        candidate_set_complete: bool,
+    ) -> Tuple[CoverSolution, DegradationReport]:
+        solution: Optional[CoverSolution] = None
+        source = ""
+        quality = ResultQuality.OPTIMAL
+
+        if completed is not None:
+            solution, source = completed
+            if source == "greedy":
+                # an exact stage's interrupted incumbent may beat plain greedy
+                if incumbent is not None and incumbent[0] < solution.weight - 1e-12:
+                    _, solution, source = incumbent
+                    quality = ResultQuality.FEASIBLE_SUBOPTIMAL
+                else:
+                    quality = ResultQuality.DEGRADED_GREEDY
+            else:
+                quality = (
+                    ResultQuality.OPTIMAL
+                    if candidate_set_complete
+                    else ResultQuality.FEASIBLE_SUBOPTIMAL
+                )
+        elif incumbent is not None:
+            _, solution, source = incumbent
+            quality = ResultQuality.FEASIBLE_SUBOPTIMAL
+
+        report = DegradationReport(
+            quality=quality,
+            source_stage=source or "none",
+            attempts=attempts,
+            budget_exhausted=tracker.expired(),
+            candidate_generation_truncated=not candidate_set_complete,
+            deadline_s=tracker.budget.deadline_s,
+            elapsed_s=tracker.elapsed_s(),
+            nodes_used=tracker.nodes_used,
+        )
+
+        if solution is None:
+            raise BudgetExceeded(
+                "every fallback stage failed and no feasible incumbent was found "
+                f"[{'; '.join(f'{a.stage}:{a.outcome}' for a in attempts)}]",
+                reason="deadline" if tracker.expired() else "stages",
+            )
+        if self.on_budget_exhausted == "fail" and quality is not ResultQuality.OPTIMAL:
+            raise BudgetExceeded(
+                f"budget exhausted before an optimal result (best available: "
+                f"{quality.value} from {source}, weight {solution.weight:g})",
+                reason="deadline" if tracker.expired() else "degraded",
+                partial=solution,
+            )
+        return solution, report

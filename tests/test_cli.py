@@ -139,3 +139,68 @@ class TestDemo:
     def test_demo_wan_matches_paper(self, capsys):
         assert main(["demo", "wan"]) == 0
         assert "merge(a4+a5+a6)" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The documented exit-code taxonomy: 0 ok, 2 infeasible, 3 budget
+    exceeded before anything servable, 4 validation failure."""
+
+    def test_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out
+        for code in ("2", "3", "4"):
+            assert code in out
+
+    def test_deadline_run_reports_runtime_quality(self, wan_file, capsys):
+        code = main(["synthesize", str(wan_file), "--deadline", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime: quality=optimal" in out
+
+    def test_infeasible_instance_exits_2(self, tmp_path, capsys):
+        from repro import CommunicationLibrary, ConstraintGraph, Link, Point
+
+        graph = ConstraintGraph(name="too-fat")
+        graph.add_port("a", Point(0, 0))
+        graph.add_port("b", Point(10, 0))
+        graph.add_channel("c", "a", "b", bandwidth=5.0)
+        lib = CommunicationLibrary("thin")  # 1.0 < 5.0 and no mux/demux
+        lib.add_link(Link("thin", bandwidth=1.0, cost_per_unit=1.0))
+        path = tmp_path / "infeasible.json"
+        save_instance(path, graph, lib)
+
+        assert main(["synthesize", str(path)]) == 2
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_tiny_deadline_exits_3(self, wan_file, capsys):
+        code = main(["synthesize", str(wan_file), "--deadline", "1e-9"])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err
+
+    def test_validation_failure_exits_4(self, wan_file, capsys, monkeypatch):
+        import repro.core.synthesis as synthesis_mod
+        from repro.core.exceptions import ValidationError
+
+        def broken_validate(impl, graph):
+            raise ValidationError("forced for the exit-code test")
+
+        monkeypatch.setattr(synthesis_mod, "validate", broken_validate)
+        assert main(["synthesize", str(wan_file)]) == 4
+        assert "validation failed" in capsys.readouterr().err
+
+    def test_on_budget_exhausted_fail_exits_3(self, wan_file, capsys):
+        from repro import FaultInjector, FaultSpec
+
+        plan = [
+            FaultSpec(site="bnb.*", kind="error"),
+            FaultSpec(site="ilp.*", kind="error"),
+        ]
+        with FaultInjector(plan):
+            code = main([
+                "synthesize", str(wan_file),
+                "--deadline", "30", "--on-budget-exhausted", "fail",
+            ])
+        assert code == 3
+        assert "budget exceeded" in capsys.readouterr().err

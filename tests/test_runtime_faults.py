@@ -1,0 +1,115 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.core.exceptions import BudgetExceeded, TransientSolverError
+from repro.runtime import FaultInjector, FaultSpec, active_injector, fault_point
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            FaultSpec(site="x", kind="nonsense")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="x", probability=1.5)
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(site="x", after=-1)
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="x", times=0)
+
+    def test_custom_exception_needs_no_kind(self):
+        spec = FaultSpec(site="x", kind="custom-ok", exception=RuntimeError)
+        assert isinstance(spec.build_exception("x"), RuntimeError)
+
+
+class TestKinds:
+    def test_timeout_raises_budget_exceeded(self):
+        with FaultInjector([FaultSpec(site="s", kind="timeout")]):
+            with pytest.raises(BudgetExceeded) as exc:
+                fault_point("s")
+        assert exc.value.reason == "injected-timeout"
+
+    def test_node_budget_raises_budget_exceeded(self):
+        with FaultInjector([FaultSpec(site="s", kind="node_budget")]):
+            with pytest.raises(BudgetExceeded) as exc:
+                fault_point("s")
+        assert exc.value.reason == "injected-node-budget"
+
+    def test_error_raises_transient(self):
+        with FaultInjector([FaultSpec(site="s", kind="error")]):
+            with pytest.raises(TransientSolverError):
+                fault_point("s")
+
+
+class TestFiringRules:
+    def test_noop_without_injector(self):
+        assert active_injector() is None
+        fault_point("anything")  # must not raise
+
+    def test_other_sites_untouched(self):
+        with FaultInjector([FaultSpec(site="s", kind="error")]):
+            fault_point("other")  # no match, no raise
+
+    def test_glob_site_patterns(self):
+        with FaultInjector([FaultSpec(site="bnb.*", kind="error")]):
+            fault_point("greedy.select")
+            with pytest.raises(TransientSolverError):
+                fault_point("bnb.node")
+
+    def test_after_skips_initial_hits(self):
+        with FaultInjector([FaultSpec(site="s", kind="error", after=3)]) as inj:
+            for _ in range(3):
+                fault_point("s")
+            with pytest.raises(TransientSolverError):
+                fault_point("s")
+        assert inj.hits("s") == 4
+
+    def test_times_caps_firings(self):
+        with FaultInjector([FaultSpec(site="s", kind="error", times=2)]) as inj:
+            for _ in range(2):
+                with pytest.raises(TransientSolverError):
+                    fault_point("s")
+            fault_point("s")  # budget of injected faults used up
+            assert inj.total_fired == 2
+
+    def test_seeded_probability_is_deterministic(self):
+        def firing_pattern(seed):
+            pattern = []
+            with FaultInjector([FaultSpec(site="s", kind="error", probability=0.5)], seed=seed):
+                for _ in range(64):
+                    try:
+                        fault_point("s")
+                        pattern.append(False)
+                    except TransientSolverError:
+                        pattern.append(True)
+            return pattern
+
+        a, b = firing_pattern(7), firing_pattern(7)
+        assert a == b
+        assert any(a) and not all(a)  # p=0.5 over 64 hits: both outcomes occur
+
+
+class TestContextManagement:
+    def test_inner_injector_wins_and_outer_restored(self):
+        outer = FaultInjector([FaultSpec(site="s", kind="timeout")])
+        inner = FaultInjector([])  # injects nothing
+        with outer:
+            with inner:
+                assert active_injector() is inner
+                fault_point("s")  # inner masks the outer timeout
+            assert active_injector() is outer
+            with pytest.raises(BudgetExceeded):
+                fault_point("s")
+        assert active_injector() is None
+
+    def test_exception_exit_still_deactivates(self):
+        with pytest.raises(BudgetExceeded):
+            with FaultInjector([FaultSpec(site="s", kind="timeout")]):
+                fault_point("s")
+        assert active_injector() is None

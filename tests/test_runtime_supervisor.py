@@ -1,0 +1,203 @@
+"""Fallback-chain tests for the runtime Supervisor.
+
+Every transition of the anytime chain bnb -> ilp -> greedy is forced by
+deterministic fault injection and asserted on: which stages ran, which
+solution is served, and how it is tagged.
+"""
+
+import pytest
+
+from repro.core.exceptions import BudgetExceeded, CoveringError, TransientSolverError
+from repro.covering.matrix import Column, CoveringProblem
+from repro.runtime import (
+    Budget,
+    FaultInjector,
+    FaultSpec,
+    ResultQuality,
+    RetryPolicy,
+    Supervisor,
+)
+
+
+def col(name, rows, weight=1.0):
+    return Column(name=name, rows=frozenset(rows), weight=weight)
+
+
+@pytest.fixture()
+def greedy_trap():
+    """Instance where weight-greedy is strictly suboptimal: greedy takes
+    "wide" first (best ratio 3/1.0), must then add "right" for r4 —
+    total 1.8 — while {left, right} covers everything for 1.6."""
+    return CoveringProblem(
+        ["r1", "r2", "r3", "r4"],
+        [
+            col("wide", {"r1", "r2", "r3"}, 1.0),
+            col("left", {"r1", "r2"}, 0.8),
+            col("right", {"r3", "r4"}, 0.8),
+        ],
+    )
+
+
+def fast_supervisor(**kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, backoff_base_s=0.0))
+    return Supervisor(**kwargs)
+
+
+class TestHappyPath:
+    def test_bnb_completes_optimal(self, greedy_trap):
+        cover, report = fast_supervisor().solve(greedy_trap)
+        assert cover.weight == pytest.approx(1.6)
+        assert report.quality is ResultQuality.OPTIMAL
+        assert report.source_stage == "bnb"
+        assert [a.outcome for a in report.attempts] == ["completed"]
+        assert not report.degraded
+
+    def test_truncated_candidates_downgrade_tag(self, greedy_trap):
+        cover, report = fast_supervisor().solve(greedy_trap, candidate_set_complete=False)
+        assert cover.weight == pytest.approx(1.6)  # exact over what it was given
+        assert report.quality is ResultQuality.FEASIBLE_SUBOPTIMAL
+        assert report.candidate_generation_truncated
+
+
+class TestTransitions:
+    def test_bnb_timeout_falls_to_ilp(self, greedy_trap):
+        plan = [FaultSpec(site="bnb.node", kind="timeout")]
+        with FaultInjector(plan):
+            cover, report = fast_supervisor().solve(greedy_trap)
+        assert cover.weight == pytest.approx(1.6)  # ilp is exact too
+        assert report.quality is ResultQuality.OPTIMAL
+        assert report.source_stage == "ilp"
+        assert [(a.stage, a.outcome) for a in report.attempts] == [
+            ("bnb", "budget_exceeded"),
+            ("ilp", "completed"),
+        ]
+
+    def test_ilp_failure_falls_to_greedy(self, greedy_trap):
+        plan = [
+            FaultSpec(site="bnb.*", kind="error"),
+            FaultSpec(site="ilp.*", kind="error"),
+        ]
+        with FaultInjector(plan):
+            cover, report = fast_supervisor().solve(greedy_trap)
+        assert cover.weight == pytest.approx(1.8)  # the greedy trap, served honestly
+        assert report.quality is ResultQuality.DEGRADED_GREEDY
+        assert report.source_stage == "greedy"
+        # both exact stages were retried to exhaustion before greedy ran
+        stages = [a.stage for a in report.attempts]
+        assert stages == ["bnb", "bnb", "ilp", "ilp", "greedy"]
+        assert report.attempts[-1].outcome == "completed"
+
+    def test_partial_incumbent_served_when_greedy_also_fails(self, greedy_trap):
+        plan = [
+            FaultSpec(site="bnb.node", kind="timeout"),  # bnb keeps its greedy seed
+            FaultSpec(site="ilp.*", kind="error"),
+            FaultSpec(site="greedy.select", kind="error"),
+        ]
+        with FaultInjector(plan):
+            cover, report = fast_supervisor().solve(greedy_trap)
+        assert cover.weight == pytest.approx(1.8)  # bnb's seeded incumbent
+        assert report.quality is ResultQuality.FEASIBLE_SUBOPTIMAL
+        assert report.source_stage == "bnb-partial"
+
+    def test_total_exhaustion_raises_with_no_incumbent(self, greedy_trap):
+        plan = [FaultSpec(site="*", kind="error")]  # every site, every stage
+        with FaultInjector(plan):
+            with pytest.raises(BudgetExceeded) as exc:
+                fast_supervisor().solve(greedy_trap)
+        assert exc.value.partial is None
+
+    def test_fail_policy_raises_with_partial_attached(self, greedy_trap):
+        plan = [
+            FaultSpec(site="bnb.node", kind="timeout"),
+            FaultSpec(site="ilp.*", kind="error"),
+        ]
+        with FaultInjector(plan):
+            with pytest.raises(BudgetExceeded) as exc:
+                fast_supervisor(on_budget_exhausted="fail").solve(greedy_trap)
+        assert exc.value.partial is not None
+        assert exc.value.partial.weight == pytest.approx(1.8)
+
+
+class TestRetry:
+    def test_transient_fault_retried_with_backoff(self, greedy_trap):
+        sleeps = []
+        plan = [FaultSpec(site="supervisor.bnb", kind="error", times=1)]
+        sup = Supervisor(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_factor=2.0),
+            sleep=sleeps.append,
+        )
+        with FaultInjector(plan):
+            cover, report = sup.solve(greedy_trap)
+        assert cover.weight == pytest.approx(1.6)
+        assert report.quality is ResultQuality.OPTIMAL
+        assert [(a.stage, a.attempt, a.outcome) for a in report.attempts] == [
+            ("bnb", 1, "transient_error"),
+            ("bnb", 2, "completed"),
+        ]
+        assert sleeps == [pytest.approx(0.01)]
+
+    def test_backoff_grows_exponentially(self, greedy_trap):
+        sleeps = []
+        plan = [
+            FaultSpec(site="supervisor.bnb", kind="error"),
+            FaultSpec(site="supervisor.ilp", kind="error"),
+            FaultSpec(site="supervisor.greedy", kind="error", times=2),
+        ]
+        sup = Supervisor(
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_factor=2.0),
+            sleep=sleeps.append,
+        )
+        with FaultInjector(plan):
+            cover, report = sup.solve(greedy_trap)
+        assert report.quality is ResultQuality.DEGRADED_GREEDY
+        # each failing stage sleeps 0.01 then 0.02 between its attempts
+        assert sleeps == [pytest.approx(s) for s in (0.01, 0.02, 0.01, 0.02, 0.01, 0.02)]
+        assert report.retries >= 2
+
+
+class TestBudgets:
+    def test_expired_deadline_skips_all_stages(self, greedy_trap):
+        import itertools
+
+        clock = itertools.count(0.0, 10.0)  # jumps 10s per reading
+        tracker = Budget(deadline_s=1.0).start(clock=lambda: float(next(clock)))
+        with pytest.raises(BudgetExceeded):
+            fast_supervisor(budget=tracker).solve(greedy_trap)
+
+    def test_infeasible_is_not_a_degradation_case(self):
+        p = CoveringProblem(["r1", "r2"], [col("a", {"r1"})])
+        with pytest.raises(CoveringError, match="infeasible"):
+            fast_supervisor().solve(p)
+
+    def test_determinism_across_runs_with_same_seed(self, greedy_trap):
+        plan = [
+            FaultSpec(site="bnb.*", kind="error", probability=0.7),
+            FaultSpec(site="ilp.*", kind="error", probability=0.7),
+        ]
+
+        def run():
+            with FaultInjector(plan, seed=42):
+                cover, report = fast_supervisor().solve(greedy_trap)
+            return cover.column_names, cover.weight, report.quality, [
+                (a.stage, a.attempt, a.outcome) for a in report.attempts
+            ]
+
+        assert run() == run()
+
+
+class TestConfigValidation:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            Supervisor(stages=("bnb", "magic"))
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Supervisor(stages=())
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_budget_exhausted"):
+            Supervisor(on_budget_exhausted="panic")
+
+    def test_bad_retry_policy_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
