@@ -1,0 +1,99 @@
+"""Experiment S2 — parallel candidate generation: speedup and identity.
+
+Times ``generate_candidates`` serially and with ``jobs=4`` on a
+merging-heavy clustered instance (the placement solves dominate, which
+is exactly the work the process pool fans out), asserts the parallel
+run reproduces the serial candidate set exactly, and records the
+timings in ``BENCH_candidates.json`` at the repo root (uploaded as a CI
+artifact).
+
+The >= 2x speedup claim is only asserted on machines with at least four
+cores — on smaller boxes the numbers are still recorded, just not
+judged.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import generate_candidates
+from repro.netgen import clustered_graph, two_tier_library
+
+from .conftest import comparison_table
+
+JOBS = 4
+MIN_SPEEDUP = 2.0
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_candidates.json"
+
+
+def _instance():
+    graph = clustered_graph(
+        n_clusters=2, ports_per_cluster=4, n_arcs=12, separation=100.0, seed=42
+    )
+    return graph, two_tier_library()
+
+
+def _fingerprint(cs):
+    return [(c.arc_names, c.label(), c.cost, c.plan) for c in cs.all]
+
+
+def test_bench_parallel_candidates(benchmark):
+    graph, library = _instance()
+
+    t0 = time.perf_counter()
+    serial = generate_candidates(graph, library, max_arity=4)
+    serial_s = time.perf_counter() - t0
+
+    def run_parallel():
+        return generate_candidates(graph, library, max_arity=4, jobs=JOBS)
+
+    parallel = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+    parallel_s = benchmark.stats.stats.total
+
+    # Identity is non-negotiable at any core count: same candidates,
+    # same costs, same plans, same stats, same order.
+    assert _fingerprint(parallel) == _fingerprint(serial)
+    assert parallel.stats == serial.stats
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    record = {
+        "instance": {
+            "generator": "clustered_graph",
+            "n_clusters": 2,
+            "ports_per_cluster": 4,
+            "n_arcs": 12,
+            "seed": 42,
+            "max_arity": 4,
+        },
+        "cores": cores,
+        "jobs": JOBS,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": speedup,
+        "candidates": len(serial.all),
+        "mergings": len(serial.mergings),
+        "identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(
+        comparison_table(
+            "S2 — parallel candidate generation",
+            [
+                ("candidate sets identical", "required", "verified"),
+                ("serial time [s]", "-", f"{serial_s:.2f}"),
+                (f"jobs={JOBS} time [s]", "-", f"{parallel_s:.2f}"),
+                ("speedup", f">= {MIN_SPEEDUP}x on >=4 cores", f"{speedup:.2f}x"),
+                ("cores available", "-", cores),
+            ],
+        )
+    )
+
+    if cores >= 4:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x speedup at jobs={JOBS} on {cores} cores, "
+            f"got {speedup:.2f}x (serial {serial_s:.2f}s, parallel {parallel_s:.2f}s)"
+        )

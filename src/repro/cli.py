@@ -73,6 +73,16 @@ def _nonnegative_seconds(text: str) -> float:
     return value
 
 
+def _positive_jobs(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive worker count, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for --help tests)."""
     parser = argparse.ArgumentParser(
@@ -110,6 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="when the --deadline budget runs out: 'degrade' (default) "
         "serves the best incumbent with a quality tag; 'fail' exits 3",
     )
+    syn.add_argument(
+        "--jobs",
+        type=_positive_jobs,
+        default=None,
+        metavar="N",
+        help="worker processes for candidate generation (default: serial). "
+        "Results are identical to serial; with --deadline the budget is "
+        "enforced between parallel chunks",
+    )
     syn.add_argument("--out", help="write a JSON result summary here")
     syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
     syn.add_argument("--dot", help="write a Graphviz DOT export here")
@@ -119,6 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("name", choices=_DEMOS)
     demo.add_argument("--save", help="write the instance JSON here instead of synthesizing")
     demo.add_argument("--max-arity", type=int, default=None)
+    demo.add_argument("--jobs", type=_positive_jobs, default=None, metavar="N",
+                      help="worker processes for candidate generation")
 
     sub.add_parser("tables", help="print the paper's Tables 1 and 2 (WAN Γ and Δ)")
 
@@ -186,6 +207,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         ucp_solver=args.solver,
         validate_result=not args.no_validate,
         on_budget_exhausted=args.on_budget_exhausted,
+        jobs=args.jobs,
     )
     budget = Budget(deadline_s=args.deadline) if args.deadline is not None else None
     result = synthesize(graph, library, options, budget=budget)
@@ -214,7 +236,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         save_instance(args.save, graph, library)
         print(f"instance '{args.name}' written to {args.save}")
         return 0
-    options = SynthesisOptions(max_arity=args.max_arity or default_arity)
+    options = SynthesisOptions(max_arity=args.max_arity or default_arity, jobs=args.jobs)
     result = synthesize(graph, library, options)
     print(synthesis_report(result, title=f"Demo: {args.name}"))
     return 0

@@ -30,9 +30,12 @@ Pruning levels (the ablation axis):
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .constraint_graph import ConstraintGraph
@@ -42,7 +45,13 @@ from .matrices import ArcMatrices, compute_matrices
 from .merging import MergingPlan, build_merging_plan
 from .mixed_segmentation import MixedChainPlan, best_mixed_segmentation
 from .point_to_point import PointToPointPlan, best_point_to_point
-from .pruning import lemma_3_2_not_mergeable, subset_pruned, theorem_3_2_not_mergeable
+from .pruning import (
+    lemma_3_2_not_mergeable,
+    lemma_3_2_not_mergeable_batch,
+    subset_pruned,
+    theorem_3_2_not_mergeable,
+    theorem_3_2_not_mergeable_batch,
+)
 
 __all__ = [
     "PruningLevel",
@@ -64,6 +73,16 @@ class PruningLevel(Enum):
 #: hard ceiling on enumerated merge subsets — a deliberate loud failure
 #: instead of an open-ended hang on highly-mergeable large instances.
 MAX_ENUMERATED_SUBSETS = 2_000_000
+
+#: subsets evaluated per vectorized pruning batch.  Bounds peak memory
+#: (the Lemma 3.2 gather is (chunk, k, k) float64 per matrix) and sets
+#: the budget-checkpoint granularity of the pruning pass.
+_PRUNE_CHUNK = 8192
+
+#: surviving subsets per process-pool planning task — small enough to
+#: keep every worker busy near a deadline, large enough to amortize
+#: pickling of the argument lists.
+_PLAN_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -114,15 +133,23 @@ class GenerationStats:
     #: the point-to-point candidates are complete (feasibility holds)
     #: but the optimum may use a merging that was never generated.
     budget_truncated: bool = False
-    #: surviving merge-subset count per arity K (the paper's Fig. 4 text
-    #: reports 13 / 21 / 16 / 5 for K = 2..5 on the WAN example).
+    #: *generated* merge candidates per arity K: subsets that survived
+    #: the Section 3 pruning AND produced a feasible merging plan (the
+    #: paper's Fig. 4 text reports 13 / 21 / 16 / 5 for K = 2..5 on the
+    #: WAN example; there every pruning survivor is feasible).  Subsets
+    #: whose plan is infeasible, or never planned because the budget
+    #: truncated the run, are not counted here.
     survivors_by_k: Dict[int, int] = field(default_factory=dict)
+    #: pruning-pass survivors per arity K *before* plan feasibility —
+    #: the raw Lemma 3.2 / Theorem 3.2 outcome, used by the
+    #: pruning-ablation bench.  ``>= survivors_by_k[k]`` always.
+    pruning_survivors_by_k: Dict[int, int] = field(default_factory=dict)
     #: arcs retired (Theorem 3.1) keyed by the arity at which they fell out.
     retired_at_k: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_mergings(self) -> int:
-        """Total surviving merge candidates across all arities."""
+        """Total generated merge candidates across all arities."""
         return sum(self.survivors_by_k.values())
 
 
@@ -155,6 +182,7 @@ def generate_candidates(
     polish_placement: bool = True,
     hop_penalty: float = 0.0,
     budget: Union[Budget, BudgetTracker, None] = None,
+    jobs: Optional[int] = None,
 ) -> CandidateSet:
     """Run Figure 2's candidate generation on ``graph`` over ``library``.
 
@@ -186,7 +214,17 @@ def generate_candidates(
     instead *truncates* — the candidates generated so far are returned
     and ``stats.budget_truncated`` is set, preserving feasibility at
     the price of possible suboptimality.
+
+    ``jobs`` fans the per-survivor placement problems
+    (:func:`~repro.core.merging.build_merging_plan`) out over a process
+    pool of that many workers (``None``/``1`` = in-process serial).
+    Chunks are consumed in submission order, so a parallel run returns
+    candidates, costs and stats *identical* to a serial one; the
+    ``budget`` deadline is enforced between chunks, preserving the
+    ``budget_truncated`` semantics under parallelism.
     """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count, got {jobs}")
     stats = GenerationStats()
     tracker = as_tracker(budget)
     arcs = graph.arcs
@@ -211,10 +249,21 @@ def generate_candidates(
     mergings: List[Candidate] = []
     if n >= 2:
         matrices = compute_matrices(graph)
-        mergings = _enumerate_mergings(
-            graph, library, matrices, pruning, max_arity, stats, polish_placement,
-            tracker=tracker,
-        )
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            if jobs is not None and jobs > 1:
+                pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_pool_init,
+                    initargs=(graph, library, polish_placement),
+                )
+            mergings = _enumerate_mergings(
+                graph, library, matrices, pruning, max_arity, stats, polish_placement,
+                tracker=tracker, pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     if max_merge_hops is not None:
         before = len(mergings)
@@ -252,6 +301,167 @@ def generate_candidates(
     return CandidateSet(point_to_point=p2p_candidates, mergings=mergings, stats=stats)
 
 
+#: per-worker state installed by the pool initializer — forked/spawned
+#: workers cost one (graph, library) pickle each instead of one per task.
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _pool_init(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    polish_placement: bool,
+) -> None:
+    """Process-pool initializer: stash the shared synthesis inputs."""
+    _POOL_STATE["graph"] = graph
+    _POOL_STATE["library"] = library
+    _POOL_STATE["polish"] = polish_placement
+
+
+def _pool_plan_chunk(
+    groups: Sequence[Tuple[str, ...]],
+) -> List[Optional[MergingPlan]]:
+    """Worker task: solve one chunk of placement problems, in order.
+
+    Returns one entry per subset (``None`` = infeasible plan) so the
+    parent can reassemble results and stats positionally, bit-identical
+    to the serial loop.
+    """
+    graph: ConstraintGraph = _POOL_STATE["graph"]  # type: ignore[assignment]
+    library: CommunicationLibrary = _POOL_STATE["library"]  # type: ignore[assignment]
+    polish: bool = _POOL_STATE["polish"]  # type: ignore[assignment]
+    return [
+        build_merging_plan(graph, list(group), library, polish_placement=polish)
+        for group in groups
+    ]
+
+
+def _prune_arity(
+    matrices: ArcMatrices,
+    active: Sequence[int],
+    k: int,
+    pruning: PruningLevel,
+    prev_survivors: Set[FrozenSet[int]],
+    max_bw: float,
+    stats: GenerationStats,
+    tracker: BudgetTracker,
+) -> Optional[List[Tuple[int, ...]]]:
+    """Batch-evaluate every K-subset of ``active`` against the pruning
+    conditions; ``None`` signals budget truncation mid-pass.
+
+    Subsets stream out of ``itertools.combinations`` in chunks; each
+    chunk is one numpy gather over the Γ/Δ column sums and one over the
+    bandwidth vector instead of one ``np.ix_`` block per subset.
+    """
+    survivors: List[Tuple[int, ...]] = []
+    combos = itertools.combinations(active, k)
+    while True:
+        chunk = list(itertools.islice(combos, _PRUNE_CHUNK))
+        if not chunk:
+            return survivors
+        try:
+            tracker.checkpoint("candidates.subset", force=True)
+        except BudgetExceeded:
+            stats.budget_truncated = True
+            return None
+        stats.subsets_enumerated += len(chunk)
+        if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
+            raise InfeasibleError(
+                f"candidate enumeration exceeded {MAX_ENUMERATED_SUBSETS} subsets "
+                f"at arity {k} with {len(active)} mergeable arcs — set "
+                f"max_arity to bound the search (the result stays exact "
+                f"within that arity)"
+            )
+        if pruning is PruningLevel.APRIORI and k > 2:
+            kept = []
+            for subset in chunk:
+                fs = frozenset(subset)
+                if any(fs - {i} not in prev_survivors for i in fs):
+                    stats.pruned_apriori += 1
+                else:
+                    kept.append(subset)
+            chunk = kept
+            if not chunk:
+                continue
+        if pruning is PruningLevel.NONE:
+            survivors.extend(chunk)
+            continue
+        arr = np.asarray(chunk, dtype=int)
+        geometric = lemma_3_2_not_mergeable_batch(matrices, arr)
+        stats.pruned_geometric += int(np.count_nonzero(geometric))
+        arr = arr[~geometric]
+        if arr.shape[0]:
+            bandwidth = theorem_3_2_not_mergeable_batch(matrices.bandwidth[arr], max_bw)
+            stats.pruned_bandwidth += int(np.count_nonzero(bandwidth))
+            arr = arr[~bandwidth]
+        survivors.extend(tuple(row) for row in arr.tolist())
+
+
+def _plan_arity_serial(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    names: Sequence[str],
+    survivors_k: Sequence[Tuple[int, ...]],
+    k: int,
+    stats: GenerationStats,
+    candidates: List[Candidate],
+    tracker: BudgetTracker,
+    polish_placement: bool,
+) -> bool:
+    """Cost one arity's survivors in-process; False ⇒ budget truncated."""
+    for subset in survivors_k:
+        try:
+            tracker.checkpoint("candidates.plan")
+        except BudgetExceeded:
+            stats.budget_truncated = True
+            return False
+        plan = build_merging_plan(
+            graph, [names[i] for i in subset], library,
+            polish_placement=polish_placement,
+        )
+        if plan is None:
+            stats.infeasible_plans += 1
+            continue
+        stats.survivors_by_k[k] += 1
+        candidates.append(Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan))
+    return True
+
+
+def _plan_arity_parallel(
+    pool: ProcessPoolExecutor,
+    names: Sequence[str],
+    survivors_k: Sequence[Tuple[int, ...]],
+    k: int,
+    stats: GenerationStats,
+    candidates: List[Candidate],
+    tracker: BudgetTracker,
+) -> bool:
+    """Fan one arity's placement problems out over the worker pool.
+
+    Chunks are submitted eagerly and consumed strictly in submission
+    order, so candidates/stats come out identical to the serial loop;
+    the deadline is re-checked (forced clock read) before every chunk
+    is consumed, and on truncation the pending chunks are cancelled.
+    """
+    groups = [tuple(names[i] for i in subset) for subset in survivors_k]
+    chunks = [groups[i:i + _PLAN_CHUNK] for i in range(0, len(groups), _PLAN_CHUNK)]
+    futures: List[Future] = [pool.submit(_pool_plan_chunk, chunk) for chunk in chunks]
+    for pos, future in enumerate(futures):
+        try:
+            tracker.checkpoint("candidates.plan", force=True)
+        except BudgetExceeded:
+            for pending in futures[pos:]:
+                pending.cancel()
+            stats.budget_truncated = True
+            return False
+        for group, plan in zip(chunks[pos], future.result()):
+            if plan is None:
+                stats.infeasible_plans += 1
+                continue
+            stats.survivors_by_k[k] += 1
+            candidates.append(Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan))
+    return True
+
+
 def _enumerate_mergings(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
@@ -261,11 +471,15 @@ def _enumerate_mergings(
     stats: GenerationStats,
     polish_placement: bool = True,
     tracker: Optional[BudgetTracker] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> List[Candidate]:
     """The main loop of Figure 2: increasing K, shrinking active set.
 
-    On :class:`BudgetExceeded` from a checkpoint the enumeration stops
-    and the candidates built so far are returned (anytime behavior);
+    Each arity runs a vectorized pruning pass (:func:`_prune_arity`)
+    followed by the per-survivor placement solves — in-process, or
+    fanned out over ``pool`` when one is given.  On
+    :class:`BudgetExceeded` from a checkpoint the enumeration stops and
+    the candidates built so far are returned (anytime behavior);
     ``stats.budget_truncated`` records the cut.
     """
     tracker = tracker if tracker is not None else as_tracker(None)
@@ -281,56 +495,28 @@ def _enumerate_mergings(
     for k in range(2, top + 1):
         if len(active) < k:
             break
-        survivors_k: List[Tuple[int, ...]] = []
-        for subset in itertools.combinations(active, k):
-            try:
-                tracker.checkpoint("candidates.subset")
-            except BudgetExceeded:
-                stats.budget_truncated = True
-                return candidates
-            stats.subsets_enumerated += 1
-            if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
-                raise InfeasibleError(
-                    f"candidate enumeration exceeded {MAX_ENUMERATED_SUBSETS} subsets "
-                    f"at arity {k} with {len(active)} mergeable arcs — set "
-                    f"max_arity to bound the search (the result stays exact "
-                    f"within that arity)"
-                )
-            if pruning is PruningLevel.APRIORI and k > 2:
-                fs = frozenset(subset)
-                if any(fs - {i} not in prev_survivors for i in fs):
-                    stats.pruned_apriori += 1
-                    continue
-            if pruning is not PruningLevel.NONE:
-                if lemma_3_2_not_mergeable(matrices, subset):
-                    stats.pruned_geometric += 1
-                    continue
-                bandwidths = [float(matrices.bandwidth[i]) for i in subset]
-                if theorem_3_2_not_mergeable(bandwidths, max_bw):
-                    stats.pruned_bandwidth += 1
-                    continue
-            survivors_k.append(subset)
+        survivors_k = _prune_arity(
+            matrices, active, k, pruning, prev_survivors, max_bw, stats, tracker
+        )
+        if survivors_k is None:
+            return candidates
 
-        stats.survivors_by_k[k] = len(survivors_k)
+        stats.pruning_survivors_by_k[k] = len(survivors_k)
+        stats.survivors_by_k[k] = 0
         if not survivors_k:
             break
 
-        for subset in survivors_k:
-            try:
-                tracker.checkpoint("candidates.plan")
-            except BudgetExceeded:
-                stats.budget_truncated = True
-                return candidates
-            plan = build_merging_plan(
-                graph, [names[i] for i in subset], library,
-                polish_placement=polish_placement,
+        if pool is not None:
+            completed = _plan_arity_parallel(
+                pool, names, survivors_k, k, stats, candidates, tracker
             )
-            if plan is None:
-                stats.infeasible_plans += 1
-                continue
-            candidates.append(
-                Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan)
+        else:
+            completed = _plan_arity_serial(
+                graph, library, names, survivors_k, k, stats, candidates,
+                tracker, polish_placement,
             )
+        if not completed:
+            return candidates
 
         # Theorem 3.1: arcs in no K-way merging leave the Γ matrix.
         in_some = {i for subset in survivors_k for i in subset}

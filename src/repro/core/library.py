@@ -168,6 +168,9 @@ class CommunicationLibrary:
         self.name = name
         self._links: Dict[str, Link] = {}
         self._nodes: Dict[str, NodeSpec] = {}
+        #: mutation counter — bumped by every add_link/add_node so that
+        #: derived-data caches keyed on it can never serve stale entries.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -189,8 +192,43 @@ class CommunicationLibrary:
         return node
 
     def _invalidate_caches(self) -> None:
-        """Drop derived-data caches (stage-cost closures) after mutation."""
-        self.__dict__.pop("_stage_cost_cache", None)
+        """Bump the mutation counter and drop derived-data caches."""
+        self._version += 1
+        self.__dict__.pop("_derived_caches", None)
+        self.__dict__.pop("_stage_cost_cache", None)  # pre-derived_cache layout
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (add_link/add_node increment it).
+
+        Derived-data caches key on this so that mutating the library
+        after a synthesis run can never silently reuse stale costs.
+        """
+        return self._version
+
+    def derived_cache(self, name: str) -> dict:
+        """A named memo dict tied to the current library ``version``.
+
+        Returns the same dict while the library is unchanged and a
+        fresh empty one after any mutation, so callers get correct
+        invalidation for free.  Cache contents (which may hold
+        closures) are excluded from pickling — worker processes rebuild
+        them lazily.
+        """
+        caches = self.__dict__.setdefault("_derived_caches", {})
+        entry = caches.get(name)
+        if entry is None or entry[0] != self._version:
+            entry = (self._version, {})
+            caches[name] = entry
+        return entry[1]
+
+    def __getstate__(self) -> dict:
+        """Pickle without derived caches (their closures don't pickle,
+        and worker processes must rebuild them at the current version)."""
+        state = self.__dict__.copy()
+        state.pop("_derived_caches", None)
+        state.pop("_stage_cost_cache", None)
+        return state
 
     # ------------------------------------------------------------------
     # queries

@@ -98,13 +98,15 @@ def stage_cost(bandwidth: float, library: CommunicationLibrary) -> StageCost:
     (:func:`repro.core.point_to_point.make_cost_oracle`) at fixed
     bandwidth; results are cached on the library (one closure per
     bandwidth value — merged candidates reuse the same arc bandwidths
-    heavily).  Linearity is detected by sampling (cost(0) = 0 and
-    proportional growth at three probe lengths); when linear, the slope
-    unlocks the fast Weiszfeld placement path.  Detection only affects
-    *where* the optimizer searches — final costs are always exact
-    evaluations.
+    heavily).  The cache is keyed on the library's mutation counter via
+    :meth:`~repro.core.library.CommunicationLibrary.derived_cache`, so
+    adding a link or node after a run can never reuse stale costs.
+    Linearity is detected by sampling (cost(0) = 0 and proportional
+    growth at three probe lengths); when linear, the slope unlocks the
+    fast Weiszfeld placement path.  Detection only affects *where* the
+    optimizer searches — final costs are always exact evaluations.
     """
-    cache: dict = library.__dict__.setdefault("_stage_cost_cache", {})
+    cache = library.derived_cache("stage_cost")
     cached = cache.get(bandwidth)
     if cached is not None:
         return cached

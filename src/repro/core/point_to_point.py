@@ -174,7 +174,18 @@ def best_point_to_point(
     structure (e.g. segmentation needed but the library has no
     repeater).  Ties break toward fewer components, then link name, so
     results are deterministic.
+
+    Results are memoized per ``(distance, bandwidth)`` on the library's
+    version-keyed :meth:`~repro.core.library.CommunicationLibrary.derived_cache`
+    — every merging plan makes ``2K + 1`` calls with heavily repeated
+    arguments, and the memo is dropped automatically when the library
+    mutates.  Plans are frozen, so sharing one instance is safe.
     """
+    cache = library.derived_cache("p2p_plans")
+    key = (distance, bandwidth)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     library.validate()
     plans = [
         plan
@@ -187,7 +198,9 @@ def best_point_to_point(
             f"d={distance}, b={bandwidth}: every link type needs a repeater or "
             f"mux/demux the library does not provide"
         )
-    return min(plans, key=lambda p: (p.cost, p.link_count, p.link.name))
+    best = min(plans, key=lambda p: (p.cost, p.link_count, p.link.name))
+    cache[key] = best
+    return best
 
 
 def point_to_point_cost(distance: float, bandwidth: float, library: CommunicationLibrary) -> float:

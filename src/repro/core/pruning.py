@@ -47,7 +47,9 @@ __all__ = [
     "PRUNE_TOL",
     "lemma_3_1_not_mergeable",
     "lemma_3_2_not_mergeable",
+    "lemma_3_2_not_mergeable_batch",
     "theorem_3_2_not_mergeable",
+    "theorem_3_2_not_mergeable_batch",
     "subset_pruned",
 ]
 
@@ -88,20 +90,69 @@ def lemma_3_2_not_mergeable(matrices: ArcMatrices, indices: Sequence[int]) -> bo
     return False
 
 
+def lemma_3_2_not_mergeable_batch(
+    matrices: ArcMatrices,
+    subsets: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Lemma 3.2 over a batch of same-arity subsets.
+
+    ``subsets`` is an ``(m, k)`` integer array of arc indices; the
+    result is a boolean ``(m,)`` vector, ``True`` ⇒ certainly not
+    mergeable.  Equivalent to ``lemma_3_2_not_mergeable`` row by row
+    (same reduction order over the same float64 values, so the verdicts
+    are bit-identical), but one gather + reduction per batch instead of
+    one ``np.ix_`` block per subset.
+    """
+    s = np.asarray(subsets, dtype=int)
+    if s.ndim != 2 or s.shape[1] < 2:
+        raise ValueError("subset batch must be (m, k) with k >= 2")
+    # blocks[i, a, b] = M[s[i, a], s[i, b]]; summing axis 1 gives, per
+    # subset, the column sums of its Γ/Δ block (one column per pivot).
+    gamma_blocks = matrices.gamma[s[:, :, None], s[:, None, :]]
+    delta_blocks = matrices.delta[s[:, :, None], s[:, None, :]]
+    gamma_sums = gamma_blocks.sum(axis=1) - np.diagonal(gamma_blocks, axis1=1, axis2=2)
+    delta_sums = delta_blocks.sum(axis=1)  # Δ diagonal is zero by construction
+    scale = np.maximum(1.0, np.maximum(np.abs(gamma_sums), np.abs(delta_sums)))
+    return np.any(gamma_sums <= delta_sums + PRUNE_TOL * scale, axis=1)
+
+
 def theorem_3_2_not_mergeable(
     bandwidths: Sequence[float],
     max_link_bandwidth: float,
 ) -> bool:
     """Theorem 3.2: True ⇒ the arcs with these bandwidths cannot merge.
 
-    ``Σ b_i >= max_l b(l) + min_j b_j``.
+    ``Σ b_i >= max_l b(l) + min_j b_j``.  The theorem is a *sufficient*
+    condition, so the floating-point tolerance must favour keeping: we
+    prune only when the sum clears the threshold by the tolerance — or
+    hits it exactly, since equality prunes per the theorem.  (Pruning
+    anything strictly below the threshold would be unsound.)
     """
     b = np.asarray(bandwidths, dtype=float)
     if b.size < 2:
         raise ValueError("mergings involve at least two arcs")
     total = float(b.sum())
     threshold = max_link_bandwidth + float(b.min())
-    return total >= threshold - PRUNE_TOL * max(1.0, abs(threshold))
+    scale = max(1.0, abs(total), abs(threshold))
+    return total >= threshold + PRUNE_TOL * scale or total == threshold
+
+
+def theorem_3_2_not_mergeable_batch(
+    bandwidth_subsets: np.ndarray,
+    max_link_bandwidth: float,
+) -> np.ndarray:
+    """Vectorized Theorem 3.2 over an ``(m, k)`` bandwidth batch.
+
+    Row-by-row equivalent of :func:`theorem_3_2_not_mergeable` (same
+    keep-favouring tolerance), returning a boolean ``(m,)`` vector.
+    """
+    b = np.asarray(bandwidth_subsets, dtype=float)
+    if b.ndim != 2 or b.shape[1] < 2:
+        raise ValueError("bandwidth batch must be (m, k) with k >= 2")
+    total = b.sum(axis=1)
+    threshold = max_link_bandwidth + b.min(axis=1)
+    scale = np.maximum(1.0, np.maximum(np.abs(total), np.abs(threshold)))
+    return (total >= threshold + PRUNE_TOL * scale) | (total == threshold)
 
 
 def subset_pruned(

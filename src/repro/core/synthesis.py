@@ -71,6 +71,10 @@ class SynthesisOptions:
     #: hops`` to every candidate's weight.  total_cost then reports the
     #: penalized objective; implementation.cost() stays monetary.
     hop_penalty: float = 0.0
+    #: worker processes for candidate generation's placement solves
+    #: (None/1 = serial).  Parallel runs return byte-identical
+    #: candidates, costs, and selections; see generate_candidates(jobs=).
+    jobs: Optional[int] = None
     ucp_solver: str = "bnb"
     solver_options: SolverOptions = field(default_factory=SolverOptions)
     validate_result: bool = True
@@ -216,6 +220,7 @@ def synthesize(
         polish_placement=options.polish_placement,
         hop_penalty=options.hop_penalty,
         budget=tracker,
+        jobs=options.jobs,
     )
     covering = build_covering_problem(graph, candidates)
 

@@ -95,50 +95,62 @@ class _Search:
     reductions_applied: int = 0
 
     def run(self, state: ReducedState) -> None:
-        self.nodes += 1
-        if self.nodes > self.options.max_nodes:
-            raise BudgetExceeded(
-                f"branch-and-bound exceeded max_nodes={self.options.max_nodes}",
-                reason="nodes",
-            )
-        self.tracker.charge_node("bnb.node")
+        """Depth-first search over an explicit stack.
 
-        if self.options.use_reductions:
-            try:
-                reduce_to_fixpoint(state)
-                self.reductions_applied += 1
-            except BudgetExceeded:
-                raise
-            except CoveringError:
-                return  # infeasible branch
-        if state.cost >= self.best_cost:
-            return
-        if state.solved:
-            self.best_cost = state.cost
-            self.best_selection = tuple(sorted(state.selected))
-            return
-        if state.infeasible:
-            return
+        Branching recursion would add one Python frame per tree level —
+        instances with a few hundred candidate columns blow the default
+        recursion limit.  The explicit LIFO (1-branch pushed last, so
+        explored first) visits nodes in exactly the recursive DFS
+        preorder, preserving node counts, incumbent updates, and the
+        ``.partial`` incumbent semantics when :class:`BudgetExceeded`
+        propagates out mid-search.
+        """
+        stack: List[ReducedState] = [state]
+        while stack:
+            state = stack.pop()
+            self.nodes += 1
+            if self.nodes > self.options.max_nodes:
+                raise BudgetExceeded(
+                    f"branch-and-bound exceeded max_nodes={self.options.max_nodes}",
+                    reason="nodes",
+                )
+            self.tracker.charge_node("bnb.node")
 
-        if self.options.use_lower_bounds:
-            bound = best_lower_bound(
-                state, use_lp=self.options.use_lp_bound, lp_row_limit=self.options.lp_row_limit
-            )
-            if state.cost + bound >= self.best_cost - 1e-12:
-                return
+            if self.options.use_reductions:
+                try:
+                    reduce_to_fixpoint(state)
+                    self.reductions_applied += 1
+                except BudgetExceeded:
+                    raise
+                except CoveringError:
+                    continue  # infeasible branch
+            if state.cost >= self.best_cost:
+                continue
+            if state.solved:
+                self.best_cost = state.cost
+                self.best_selection = tuple(sorted(state.selected))
+                continue
+            if state.infeasible:
+                continue
 
-        branch_col = self._pick_branch_column(state)
-        if branch_col is None:
-            return
+            if self.options.use_lower_bounds:
+                bound = best_lower_bound(
+                    state, use_lp=self.options.use_lp_bound, lp_row_limit=self.options.lp_row_limit
+                )
+                if state.cost + bound >= self.best_cost - 1e-12:
+                    continue
 
-        with_col = state.clone()
-        with_col.select(branch_col)
-        self.run(with_col)
+            branch_col = self._pick_branch_column(state)
+            if branch_col is None:
+                continue
 
-        without_col = state.clone()
-        without_col.exclude(branch_col)
-        # the 0-branch may make a row uncoverable; run() detects it.
-        self.run(without_col)
+            # the 0-branch may make a row uncoverable; the pop detects it.
+            without_col = state.clone()
+            without_col.exclude(branch_col)
+            with_col = state.clone()
+            with_col.select(branch_col)
+            stack.append(without_col)
+            stack.append(with_col)
 
     def _pick_branch_column(self, state: ReducedState) -> Optional[str]:
         """Most-covering-per-weight available column; None if all useless."""

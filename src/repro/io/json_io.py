@@ -135,6 +135,7 @@ def synthesis_result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
             for c in result.selected
         ],
         "candidate_counts": dict(result.candidates.stats.survivors_by_k),
+        "pruning_survivor_counts": dict(result.candidates.stats.pruning_survivors_by_k),
         "communication_vertices": len(impl.communication_vertices),
         "link_instances": len(impl.arcs),
         "elapsed_seconds": result.elapsed_seconds,

@@ -111,16 +111,20 @@ class BudgetTracker:
         return self._parent.expired() if self._parent is not None else False
 
     # ------------------------------------------------------------------
-    def checkpoint(self, site: str = "") -> None:
+    def checkpoint(self, site: str = "", force: bool = False) -> None:
         """Cooperative interruption point for hot loops.
 
         Raises :class:`BudgetExceeded` when the deadline has passed
         (checked on the first and every ``check_every``-th call) or a
-        fault is injected at ``site``.
+        fault is injected at ``site``.  ``force=True`` reads the wall
+        clock unconditionally — used at *chunk* boundaries (vectorized
+        pruning batches, parallel planning chunks) where one call
+        stands in for many loop iterations and the ``check_every``
+        cadence would let the deadline slip by whole chunks.
         """
         fault_point(site)
         self._calls += 1
-        if (self._calls - 1) % self.budget.check_every == 0 and self.expired():
+        if (force or (self._calls - 1) % self.budget.check_every == 0) and self.expired():
             raise BudgetExceeded(
                 f"deadline of {self.budget.deadline_s}s exceeded at {site or 'checkpoint'} "
                 f"(elapsed {self.elapsed_s():.3f}s)",

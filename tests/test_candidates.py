@@ -110,4 +110,9 @@ class TestParametricInstances:
     def test_stats_totals(self, wan_graph, wan_lib):
         cs = generate_candidates(wan_graph, wan_lib)
         assert cs.stats.total_mergings == sum(cs.stats.survivors_by_k.values())
-        assert len(cs.mergings) == cs.stats.total_mergings - cs.stats.infeasible_plans
+        # survivors_by_k counts *generated* candidates (post-feasibility),
+        # so it matches the merging list exactly; pruning survivors bound
+        # it from above at every arity.
+        assert len(cs.mergings) == cs.stats.total_mergings
+        for k, n in cs.stats.survivors_by_k.items():
+            assert cs.stats.pruning_survivors_by_k[k] >= n
