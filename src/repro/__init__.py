@@ -86,6 +86,16 @@ from .covering import (  # noqa: F401
     solve_exhaustive,
     solve_ilp,
 )
+from .obs import (  # noqa: F401
+    NullTracer,
+    Tracer,
+    current_tracer,
+    format_trace_summary,
+    metrics_dict,
+    to_chrome_trace,
+    tracing,
+    write_chrome_trace,
+)
 from .runtime import (  # noqa: F401
     Budget,
     BudgetTracker,

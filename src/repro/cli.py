@@ -133,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
     syn.add_argument("--dot", help="write a Graphviz DOT export here")
     syn.add_argument("--quiet", action="store_true", help="suppress the text report")
+    syn.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record pipeline spans/counters and write a Chrome trace-event "
+        "JSON here (open in Perfetto or chrome://tracing); also embeds a "
+        "'metrics' block in the --out summary",
+    )
+    syn.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="record pipeline spans/counters and print a text summary "
+        "(spans with wall/CPU time, counters, gauges)",
+    )
 
     demo = sub.add_parser("demo", help="build/synthesize a bundled domain instance")
     demo.add_argument("name", choices=_DEMOS)
@@ -140,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--max-arity", type=int, default=None)
     demo.add_argument("--jobs", type=_positive_jobs, default=None, metavar="N",
                       help="worker processes for candidate generation")
+    demo.add_argument("--trace", metavar="FILE",
+                      help="write a Chrome trace-event JSON of the run here")
+    demo.add_argument("--trace-summary", action="store_true",
+                      help="print a text summary of pipeline spans/counters")
 
     sub.add_parser("tables", help="print the paper's Tables 1 and 2 (WAN Γ and Δ)")
 
@@ -210,11 +227,13 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     budget = Budget(deadline_s=args.deadline) if args.deadline is not None else None
-    result = synthesize(graph, library, options, budget=budget)
+    trace = bool(args.trace or args.trace_summary)
+    result = synthesize(graph, library, options, budget=budget, trace=trace)
     if not args.quiet:
         print(synthesis_report(result, title=f"Synthesis of {args.instance}"))
         if result.degradation is not None:
             print(f"runtime: {result.degradation.summary()}")
+    _emit_trace(args, result)
     if args.out:
         with open(args.out, "w") as f:
             json.dump(synthesis_result_to_dict(result), f, indent=2, sort_keys=True)
@@ -230,6 +249,21 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_trace(args: argparse.Namespace, result) -> None:
+    """Honour --trace / --trace-summary on a finished result."""
+    if result.trace is None:
+        return
+    if args.trace_summary:
+        from .obs import format_trace_summary
+
+        print(format_trace_summary(result.trace))
+    if args.trace:
+        from .obs import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.trace)
+        print(f"Chrome trace written to {args.trace} (open in Perfetto)")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     graph, library, default_arity = _demo_instance(args.name)
     if args.save:
@@ -237,8 +271,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"instance '{args.name}' written to {args.save}")
         return 0
     options = SynthesisOptions(max_arity=args.max_arity or default_arity, jobs=args.jobs)
-    result = synthesize(graph, library, options)
+    trace = bool(args.trace or args.trace_summary)
+    result = synthesize(graph, library, options, trace=trace)
     print(synthesis_report(result, title=f"Demo: {args.name}"))
+    _emit_trace(args, result)
     return 0
 
 

@@ -30,6 +30,7 @@ Pruning levels (the ablation axis):
 from __future__ import annotations
 
 import itertools
+import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
@@ -37,6 +38,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..obs import TracerLike, Tracer, TraceSnapshot, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .constraint_graph import ConstraintGraph
 from .exceptions import BudgetExceeded, InfeasibleError
@@ -227,78 +229,91 @@ def generate_candidates(
         raise ValueError(f"jobs must be a positive worker count, got {jobs}")
     stats = GenerationStats()
     tracker = as_tracker(budget)
+    tracer = current_tracer()
     arcs = graph.arcs
     n = len(arcs)
 
-    p2p_candidates: List[Candidate] = []
-    p2p_cost: Dict[str, float] = {}
-    for arc in arcs:
-        tracker.checkpoint("candidates.p2p")
-        plan: Union[PointToPointPlan, MixedChainPlan]
-        plan = best_point_to_point(arc.distance, arc.bandwidth, library)
-        if heterogeneous:
-            try:
-                mixed = best_mixed_segmentation(arc.distance, arc.bandwidth, library)
-                if mixed.cost < plan.cost - 1e-12:
-                    plan = mixed
-            except InfeasibleError:
-                pass  # e.g. bandwidth needs duplication — keep the homogeneous plan
-        p2p_cost[arc.name] = plan.cost
-        p2p_candidates.append(Candidate(arc_names=(arc.name,), cost=plan.cost, plan=plan))
-
-    mergings: List[Candidate] = []
-    if n >= 2:
-        matrices = compute_matrices(graph)
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            if jobs is not None and jobs > 1:
-                pool = ProcessPoolExecutor(
-                    max_workers=jobs,
-                    initializer=_pool_init,
-                    initargs=(graph, library, polish_placement),
+    with tracer.span(
+        "candidates.generate", arcs=n, pruning=pruning.value, jobs=jobs or 1
+    ) as gen_span:
+        p2p_candidates: List[Candidate] = []
+        p2p_cost: Dict[str, float] = {}
+        with tracer.span("candidates.p2p", arcs=n):
+            for arc in arcs:
+                tracker.checkpoint("candidates.p2p")
+                tracer.count("candidates.p2p.plans")
+                plan: Union[PointToPointPlan, MixedChainPlan]
+                plan = best_point_to_point(arc.distance, arc.bandwidth, library)
+                if heterogeneous:
+                    try:
+                        mixed = best_mixed_segmentation(arc.distance, arc.bandwidth, library)
+                        if mixed.cost < plan.cost - 1e-12:
+                            plan = mixed
+                    except InfeasibleError:
+                        pass  # e.g. bandwidth needs duplication — keep the homogeneous plan
+                p2p_cost[arc.name] = plan.cost
+                p2p_candidates.append(
+                    Candidate(arc_names=(arc.name,), cost=plan.cost, plan=plan)
                 )
-            mergings = _enumerate_mergings(
-                graph, library, matrices, pruning, max_arity, stats, polish_placement,
-                tracker=tracker, pool=pool,
-            )
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
 
-    if max_merge_hops is not None:
-        before = len(mergings)
-        mergings = [c for c in mergings if c.plan.max_hops <= max_merge_hops]
-        stats.pruned_hops = before - len(mergings)
+        mergings: List[Candidate] = []
+        if n >= 2:
+            matrices = compute_matrices(graph)
+            pool: Optional[ProcessPoolExecutor] = None
+            try:
+                if jobs is not None and jobs > 1:
+                    pool = ProcessPoolExecutor(
+                        max_workers=jobs,
+                        initializer=_pool_init,
+                        initargs=(graph, library, polish_placement, tracer.enabled),
+                    )
+                mergings = _enumerate_mergings(
+                    graph, library, matrices, pruning, max_arity, stats, polish_placement,
+                    tracker=tracker, pool=pool,
+                )
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
 
-    if hop_penalty:
-        if hop_penalty < 0:
-            raise ValueError(f"hop_penalty must be nonnegative, got {hop_penalty}")
-        p2p_candidates = [
-            Candidate(
-                arc_names=c.arc_names,
-                cost=c.cost + hop_penalty * getattr(c.plan, "max_hops", 0),
-                plan=c.plan,
-            )
-            for c in p2p_candidates
-        ]
-        mergings = [
-            Candidate(
-                arc_names=c.arc_names,
-                cost=c.cost + hop_penalty * c.plan.max_hops,
-                plan=c.plan,
-            )
-            for c in mergings
-        ]
-        p2p_cost = {c.arc_names[0]: c.cost for c in p2p_candidates}
+        if max_merge_hops is not None:
+            before = len(mergings)
+            mergings = [c for c in mergings if c.plan.max_hops <= max_merge_hops]
+            stats.pruned_hops = before - len(mergings)
+            tracer.count("candidates.pruned.hops", stats.pruned_hops)
 
-    if drop_dominated:
-        mergings = [
-            c
-            for c in mergings
-            if c.cost < sum(p2p_cost[a] for a in c.arc_names) - 1e-12
-        ]
+        if hop_penalty:
+            if hop_penalty < 0:
+                raise ValueError(f"hop_penalty must be nonnegative, got {hop_penalty}")
+            p2p_candidates = [
+                Candidate(
+                    arc_names=c.arc_names,
+                    cost=c.cost + hop_penalty * getattr(c.plan, "max_hops", 0),
+                    plan=c.plan,
+                )
+                for c in p2p_candidates
+            ]
+            mergings = [
+                Candidate(
+                    arc_names=c.arc_names,
+                    cost=c.cost + hop_penalty * c.plan.max_hops,
+                    plan=c.plan,
+                )
+                for c in mergings
+            ]
+            p2p_cost = {c.arc_names[0]: c.cost for c in p2p_candidates}
 
-    return CandidateSet(point_to_point=p2p_candidates, mergings=mergings, stats=stats)
+        if drop_dominated:
+            mergings = [
+                c
+                for c in mergings
+                if c.cost < sum(p2p_cost[a] for a in c.arc_names) - 1e-12
+            ]
+
+        gen_span.set("point_to_point", len(p2p_candidates))
+        gen_span.set("mergings", len(mergings))
+        gen_span.set("budget_truncated", stats.budget_truncated)
+        tracer.gauge("candidates.total", len(p2p_candidates) + len(mergings))
+        return CandidateSet(point_to_point=p2p_candidates, mergings=mergings, stats=stats)
 
 
 #: per-worker state installed by the pool initializer — forked/spawned
@@ -310,29 +325,63 @@ def _pool_init(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
     polish_placement: bool,
+    trace: bool = False,
 ) -> None:
     """Process-pool initializer: stash the shared synthesis inputs."""
     _POOL_STATE["graph"] = graph
     _POOL_STATE["library"] = library
     _POOL_STATE["polish"] = polish_placement
+    _POOL_STATE["trace"] = trace
+
+
+def _record_plan_outcome(
+    tracer: TracerLike, k: int, plan: Optional[MergingPlan]
+) -> None:
+    """Count one placement solve — the *same* counter names whether the
+    solve ran in-process (serial) or in a pool worker, so serial and
+    parallel runs accumulate identical deterministic totals."""
+    tracer.count("candidates.plans.built")
+    if plan is None:
+        tracer.count("candidates.plans.infeasible")
+    else:
+        tracer.count("candidates.plans.feasible")
+        tracer.count(f"candidates.survivors.k{k}")
 
 
 def _pool_plan_chunk(
     groups: Sequence[Tuple[str, ...]],
-) -> List[Optional[MergingPlan]]:
+) -> Tuple[List[Optional[MergingPlan]], Optional[TraceSnapshot]]:
     """Worker task: solve one chunk of placement problems, in order.
 
-    Returns one entry per subset (``None`` = infeasible plan) so the
-    parent can reassemble results and stats positionally, bit-identical
-    to the serial loop.
+    Returns one plan entry per subset (``None`` = infeasible plan) so
+    the parent can reassemble results and stats positionally,
+    bit-identical to the serial loop — plus, when the parent run is
+    traced, a :class:`~repro.obs.TraceSnapshot` of this chunk's spans
+    and counters for deterministic merging into the parent trace.
     """
     graph: ConstraintGraph = _POOL_STATE["graph"]  # type: ignore[assignment]
     library: CommunicationLibrary = _POOL_STATE["library"]  # type: ignore[assignment]
     polish: bool = _POOL_STATE["polish"]  # type: ignore[assignment]
-    return [
-        build_merging_plan(graph, list(group), library, polish_placement=polish)
-        for group in groups
-    ]
+    if not _POOL_STATE.get("trace"):
+        plans = [
+            build_merging_plan(graph, list(group), library, polish_placement=polish)
+            for group in groups
+        ]
+        return plans, None
+
+    tracer = Tracer(label=f"worker-{os.getpid()}")
+    plans = []
+    with tracing(tracer):
+        with tracer.span(
+            "candidates.plan.chunk", k=len(groups[0]) if groups else 0, size=len(groups)
+        ):
+            for group in groups:
+                plan = build_merging_plan(
+                    graph, list(group), library, polish_placement=polish
+                )
+                _record_plan_outcome(tracer, len(group), plan)
+                plans.append(plan)
+    return plans, tracer.snapshot()
 
 
 def _prune_arity(
@@ -352,6 +401,7 @@ def _prune_arity(
     chunk is one numpy gather over the Γ/Δ column sums and one over the
     bandwidth vector instead of one ``np.ix_`` block per subset.
     """
+    tracer = current_tracer()
     survivors: List[Tuple[int, ...]] = []
     combos = itertools.combinations(active, k)
     while True:
@@ -364,6 +414,7 @@ def _prune_arity(
             stats.budget_truncated = True
             return None
         stats.subsets_enumerated += len(chunk)
+        tracer.count("candidates.subsets.enumerated", len(chunk))
         if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
             raise InfeasibleError(
                 f"candidate enumeration exceeded {MAX_ENUMERATED_SUBSETS} subsets "
@@ -377,6 +428,7 @@ def _prune_arity(
                 fs = frozenset(subset)
                 if any(fs - {i} not in prev_survivors for i in fs):
                     stats.pruned_apriori += 1
+                    tracer.count("candidates.pruned.apriori")
                 else:
                     kept.append(subset)
             chunk = kept
@@ -387,11 +439,15 @@ def _prune_arity(
             continue
         arr = np.asarray(chunk, dtype=int)
         geometric = lemma_3_2_not_mergeable_batch(matrices, arr)
-        stats.pruned_geometric += int(np.count_nonzero(geometric))
+        pruned_geo = int(np.count_nonzero(geometric))
+        stats.pruned_geometric += pruned_geo
+        tracer.count("candidates.pruned.lemma_3_2", pruned_geo)
         arr = arr[~geometric]
         if arr.shape[0]:
             bandwidth = theorem_3_2_not_mergeable_batch(matrices.bandwidth[arr], max_bw)
-            stats.pruned_bandwidth += int(np.count_nonzero(bandwidth))
+            pruned_bw = int(np.count_nonzero(bandwidth))
+            stats.pruned_bandwidth += pruned_bw
+            tracer.count("candidates.pruned.theorem_3_2", pruned_bw)
             arr = arr[~bandwidth]
         survivors.extend(tuple(row) for row in arr.tolist())
 
@@ -408,6 +464,7 @@ def _plan_arity_serial(
     polish_placement: bool,
 ) -> bool:
     """Cost one arity's survivors in-process; False ⇒ budget truncated."""
+    tracer = current_tracer()
     for subset in survivors_k:
         try:
             tracker.checkpoint("candidates.plan")
@@ -418,6 +475,7 @@ def _plan_arity_serial(
             graph, [names[i] for i in subset], library,
             polish_placement=polish_placement,
         )
+        _record_plan_outcome(tracer, k, plan)
         if plan is None:
             stats.infeasible_plans += 1
             continue
@@ -442,6 +500,7 @@ def _plan_arity_parallel(
     the deadline is re-checked (forced clock read) before every chunk
     is consumed, and on truncation the pending chunks are cancelled.
     """
+    tracer = current_tracer()
     groups = [tuple(names[i] for i in subset) for subset in survivors_k]
     chunks = [groups[i:i + _PLAN_CHUNK] for i in range(0, len(groups), _PLAN_CHUNK)]
     futures: List[Future] = [pool.submit(_pool_plan_chunk, chunk) for chunk in chunks]
@@ -453,7 +512,12 @@ def _plan_arity_parallel(
                 pending.cancel()
             stats.budget_truncated = True
             return False
-        for group, plan in zip(chunks[pos], future.result()):
+        plans, snapshot = future.result()
+        if snapshot is not None:
+            # Plan-outcome counters were accumulated in the worker; the
+            # absorbed snapshots sum to exactly the serial totals.
+            tracer.absorb(snapshot)
+        for group, plan in zip(chunks[pos], plans):
             if plan is None:
                 stats.infeasible_plans += 1
                 continue
@@ -483,6 +547,7 @@ def _enumerate_mergings(
     ``stats.budget_truncated`` records the cut.
     """
     tracker = tracker if tracker is not None else as_tracker(None)
+    tracer = current_tracer()
     n = matrices.size
     names = matrices.arc_names
     active: List[int] = list(range(n))
@@ -495,35 +560,43 @@ def _enumerate_mergings(
     for k in range(2, top + 1):
         if len(active) < k:
             break
-        survivors_k = _prune_arity(
-            matrices, active, k, pruning, prev_survivors, max_bw, stats, tracker
-        )
-        if survivors_k is None:
-            return candidates
+        with tracer.span("candidates.arity", k=k, active=len(active)) as arity_span:
+            with tracer.span("candidates.prune", k=k):
+                survivors_k = _prune_arity(
+                    matrices, active, k, pruning, prev_survivors, max_bw, stats, tracker
+                )
+            if survivors_k is None:
+                arity_span.set("budget_truncated", True)
+                return candidates
 
-        stats.pruning_survivors_by_k[k] = len(survivors_k)
-        stats.survivors_by_k[k] = 0
-        if not survivors_k:
-            break
+            stats.pruning_survivors_by_k[k] = len(survivors_k)
+            stats.survivors_by_k[k] = 0
+            arity_span.set("pruning_survivors", len(survivors_k))
+            if not survivors_k:
+                break
 
-        if pool is not None:
-            completed = _plan_arity_parallel(
-                pool, names, survivors_k, k, stats, candidates, tracker
-            )
-        else:
-            completed = _plan_arity_serial(
-                graph, library, names, survivors_k, k, stats, candidates,
-                tracker, polish_placement,
-            )
-        if not completed:
-            return candidates
+            with tracer.span("candidates.plan", k=k, survivors=len(survivors_k)):
+                if pool is not None:
+                    completed = _plan_arity_parallel(
+                        pool, names, survivors_k, k, stats, candidates, tracker
+                    )
+                else:
+                    completed = _plan_arity_serial(
+                        graph, library, names, survivors_k, k, stats, candidates,
+                        tracker, polish_placement,
+                    )
+            arity_span.set("generated", stats.survivors_by_k[k])
+            if not completed:
+                arity_span.set("budget_truncated", True)
+                return candidates
 
-        # Theorem 3.1: arcs in no K-way merging leave the Γ matrix.
-        in_some = {i for subset in survivors_k for i in subset}
-        for i in list(active):
-            if i not in in_some:
-                stats.retired_at_k[names[i]] = k
-                active.remove(i)
-        prev_survivors = {frozenset(s) for s in survivors_k}
+            # Theorem 3.1: arcs in no K-way merging leave the Γ matrix.
+            in_some = {i for subset in survivors_k for i in subset}
+            for i in list(active):
+                if i not in in_some:
+                    stats.retired_at_k[names[i]] = k
+                    active.remove(i)
+                    tracer.count("candidates.retired.theorem_3_1")
+            prev_survivors = {frozenset(s) for s in survivors_k}
 
     return candidates

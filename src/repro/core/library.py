@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import current_tracer
 from .exceptions import LibraryError
 
 __all__ = ["Link", "NodeKind", "NodeSpec", "CommunicationLibrary"]
@@ -220,6 +221,7 @@ class CommunicationLibrary:
         if entry is None or entry[0] != self._version:
             entry = (self._version, {})
             caches[name] = entry
+            current_tracer().count_local(f"cache.derived.rebuild.{name}")
         return entry[1]
 
     def __getstate__(self) -> dict:

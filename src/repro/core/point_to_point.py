@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs import current_tracer
 from .constraint_graph import Arc, ConstraintGraph
 from .exceptions import AssumptionViolation, InfeasibleError, LibraryError
 from .geometry import Point
@@ -184,8 +185,12 @@ def best_point_to_point(
     cache = library.derived_cache("p2p_plans")
     key = (distance, bandwidth)
     cached = cache.get(key)
+    # Hit rates are process-local: parallel workers start with cold
+    # memos, so these go to the local (non-deterministic) counters.
     if cached is not None:
+        current_tracer().count_local("cache.p2p.hit")
         return cached
+    current_tracer().count_local("cache.p2p.miss")
     library.validate()
     plans = [
         plan

@@ -40,6 +40,7 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import current_tracer
 from .library import CommunicationLibrary
 from .matrices import ArcMatrices
 
@@ -163,7 +164,13 @@ def subset_pruned(
     """Combined pruning: True when *any* of the sufficient conditions
     (Lemma 3.2 geometric, Theorem 3.2 bandwidth) certifies the subset
     as not mergeable."""
+    tracer = current_tracer()
+    tracer.count("pruning.checks")
     if lemma_3_2_not_mergeable(matrices, indices):
+        tracer.count("pruning.lemma_3_2.hits")
         return True
     bandwidths = [float(matrices.bandwidth[i]) for i in indices]
-    return theorem_3_2_not_mergeable(bandwidths, library.max_link_bandwidth())
+    if theorem_3_2_not_mergeable(bandwidths, library.max_link_bandwidth()):
+        tracer.count("pruning.theorem_3_2.hits")
+        return True
+    return False

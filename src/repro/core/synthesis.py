@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..covering.bnb import SolverOptions, solve_cover
 from ..covering.ilp import solve_ilp
 from ..covering.matrix import Column, CoverSolution, CoveringProblem
+from ..obs import NULL_TRACER, Tracer, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from ..runtime.report import DegradationReport
 from ..runtime.supervisor import Supervisor
@@ -102,6 +103,10 @@ class SynthesisResult:
     #: which fallback stages ran, and how trustworthy the result is
     #: (``optimal`` / ``feasible_suboptimal`` / ``degraded_greedy``).
     degradation: Optional[DegradationReport] = None
+    #: the observability tracer of the run (None unless ``trace`` was
+    #: requested): spans, counters and gauges, exportable via
+    #: :mod:`repro.obs` (text summary, JSON metrics, Chrome trace).
+    trace: Optional[Tracer] = None
 
     @property
     def savings(self) -> float:
@@ -182,6 +187,7 @@ def synthesize(
     library: CommunicationLibrary,
     options: Optional[SynthesisOptions] = None,
     budget: Union[Budget, BudgetTracker, None] = None,
+    trace: Union[bool, Tracer] = False,
 ) -> SynthesisResult:
     """Solve Problem 2.1 exactly for ``graph`` over ``library``.
 
@@ -199,6 +205,13 @@ def synthesize(
     long as one exists and ``options.on_budget_exhausted`` is
     ``"degrade"`` — with ``result.degradation`` recording what happened
     and how trustworthy the answer is.
+
+    ``trace`` turns on the observability layer (:mod:`repro.obs`):
+    ``True`` creates a fresh :class:`~repro.obs.Tracer`, or pass your
+    own to accumulate across runs.  The tracer rides along on
+    ``result.trace`` with hierarchical spans, pipeline counters and
+    gauges; disabled (the default) every instrumentation point is a
+    single no-op call.
     """
     options = options or SynthesisOptions()
     if len(graph) == 0:
@@ -207,57 +220,92 @@ def synthesize(
         raise SynthesisError(f"unknown ucp_solver {options.ucp_solver!r} (use 'bnb' or 'ilp')")
     library.validate()
 
-    start = time.perf_counter()
-    tracker = as_tracker(budget) if budget is not None else None
-    candidates = generate_candidates(
-        graph,
-        library,
-        pruning=options.pruning,
-        max_arity=options.max_arity,
-        drop_dominated=options.drop_dominated,
-        heterogeneous=options.heterogeneous,
-        max_merge_hops=options.max_merge_hops,
-        polish_placement=options.polish_placement,
-        hop_penalty=options.hop_penalty,
-        budget=tracker,
-        jobs=options.jobs,
-    )
-    covering = build_covering_problem(graph, candidates)
-
-    report: Optional[DegradationReport] = None
-    if tracker is not None:
-        supervisor = Supervisor(
-            budget=tracker,
-            stages=_fallback_stages(options.ucp_solver),
-            solver_options=options.solver_options,
-            on_budget_exhausted=options.on_budget_exhausted,
-        )
-        cover, report = supervisor.solve(
-            covering, candidate_set_complete=not candidates.stats.budget_truncated
-        )
-    elif options.ucp_solver == "bnb":
-        cover = solve_cover(covering, options.solver_options)
+    if trace is True:
+        tracer: Optional[Tracer] = Tracer(label=f"synthesize:{graph.name}")
+    elif trace is False or trace is None:
+        # honour an ambient tracer installed via ``with tracing(...)``
+        ambient = current_tracer()
+        tracer = ambient if ambient is not NULL_TRACER else None
     else:
-        cover = solve_ilp(covering)
+        tracer = trace
 
-    by_label = {c.label(): c for c in candidates.all}
-    selected = [by_label[name] for name in cover.column_names]
+    if tracer is None:
+        return _synthesize_traced(graph, library, options, budget)
+    with tracing(tracer):
+        result = _synthesize_traced(graph, library, options, budget)
+    result.trace = tracer
+    return result
 
-    impl = materialize_selection(graph, library, selected, name=f"{graph.name}-impl")
-    if options.validate_result:
-        validate(impl, graph)
 
-    elapsed = time.perf_counter() - start
-    if report is not None:
-        report.elapsed_s = elapsed  # account materialization + validation too
-    return SynthesisResult(
-        implementation=impl,
-        selected=selected,
-        total_cost=cover.weight,
-        candidates=candidates,
-        covering=covering,
-        cover=cover,
-        point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
-        elapsed_seconds=elapsed,
-        degradation=report,
-    )
+def _synthesize_traced(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    budget: Union[Budget, BudgetTracker, None],
+) -> SynthesisResult:
+    tracer = current_tracer()
+    start = time.perf_counter()
+    with tracer.span(
+        "synthesize", graph=graph.name, arcs=len(graph), solver=options.ucp_solver
+    ) as root_span:
+        tracker = as_tracker(budget) if budget is not None else None
+        candidates = generate_candidates(
+            graph,
+            library,
+            pruning=options.pruning,
+            max_arity=options.max_arity,
+            drop_dominated=options.drop_dominated,
+            heterogeneous=options.heterogeneous,
+            max_merge_hops=options.max_merge_hops,
+            polish_placement=options.polish_placement,
+            hop_penalty=options.hop_penalty,
+            budget=tracker,
+            jobs=options.jobs,
+        )
+        with tracer.span("covering.build"):
+            covering = build_covering_problem(graph, candidates)
+        tracer.gauge("covering.rows", covering.n_rows)
+        tracer.gauge("covering.columns", len(covering.columns))
+
+        report: Optional[DegradationReport] = None
+        with tracer.span("covering.solve", supervised=tracker is not None):
+            if tracker is not None:
+                supervisor = Supervisor(
+                    budget=tracker,
+                    stages=_fallback_stages(options.ucp_solver),
+                    solver_options=options.solver_options,
+                    on_budget_exhausted=options.on_budget_exhausted,
+                )
+                cover, report = supervisor.solve(
+                    covering, candidate_set_complete=not candidates.stats.budget_truncated
+                )
+            elif options.ucp_solver == "bnb":
+                cover = solve_cover(covering, options.solver_options)
+            else:
+                cover = solve_ilp(covering)
+
+        by_label = {c.label(): c for c in candidates.all}
+        selected = [by_label[name] for name in cover.column_names]
+        tracer.count("synthesis.selected", len(selected))
+
+        with tracer.span("materialize", selected=len(selected)):
+            impl = materialize_selection(graph, library, selected, name=f"{graph.name}-impl")
+        if options.validate_result:
+            with tracer.span("validate"):
+                validate(impl, graph)
+
+        root_span.set("total_cost", cover.weight)
+        elapsed = time.perf_counter() - start
+        if report is not None:
+            report.elapsed_s = elapsed  # account materialization + validation too
+        return SynthesisResult(
+            implementation=impl,
+            selected=selected,
+            total_cost=cover.weight,
+            candidates=candidates,
+            covering=covering,
+            cover=cover,
+            point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
+            elapsed_seconds=elapsed,
+            degradation=report,
+        )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.exceptions import BudgetExceeded, CoveringError, InfeasibleError
+from ..obs import current_tracer
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .bounds import best_lower_bound
 from .matrix import CoverSolution, CoveringProblem
@@ -57,31 +58,34 @@ def greedy_cover(
     loop cleanly."""
     problem.validate_coverable()
     tracker = as_tracker(budget)
-    state = ReducedState.initial(problem)
-    while not state.solved:
-        tracker.checkpoint(site)
-        best_name: Optional[str] = None
-        best_ratio = -1.0
-        for name in sorted(state.columns):
-            covered = len(state.active_rows_of(name))
-            if covered == 0:
-                continue
-            weight = problem.column(name).weight
-            ratio = covered / weight if weight > 0 else float("inf")
-            if ratio > best_ratio:
-                best_ratio = ratio
-                best_name = name
-        if best_name is None:
-            uncovered = ", ".join(sorted(state.rows))
-            raise InfeasibleError(
-                f"greedy ran out of useful columns — rows [{uncovered}] cannot "
-                f"be covered by the remaining candidates (truly infeasible, "
-                f"not a budget problem)"
-            )
-        state.select(best_name)
-    return CoverSolution(
-        column_names=tuple(state.selected), weight=state.cost, optimal=False
-    )
+    tracer = current_tracer()
+    with tracer.span("covering.greedy", rows=problem.n_rows, columns=len(problem.columns)):
+        state = ReducedState.initial(problem)
+        while not state.solved:
+            tracker.checkpoint(site)
+            tracer.count("covering.greedy.iterations")
+            best_name: Optional[str] = None
+            best_ratio = -1.0
+            for name in sorted(state.columns):
+                covered = len(state.active_rows_of(name))
+                if covered == 0:
+                    continue
+                weight = problem.column(name).weight
+                ratio = covered / weight if weight > 0 else float("inf")
+                if ratio > best_ratio:
+                    best_ratio = ratio
+                    best_name = name
+            if best_name is None:
+                uncovered = ", ".join(sorted(state.rows))
+                raise InfeasibleError(
+                    f"greedy ran out of useful columns — rows [{uncovered}] cannot "
+                    f"be covered by the remaining candidates (truly infeasible, "
+                    f"not a budget problem)"
+                )
+            state.select(best_name)
+        return CoverSolution(
+            column_names=tuple(state.selected), weight=state.cost, optimal=False
+        )
 
 
 @dataclass
@@ -93,6 +97,9 @@ class _Search:
     tracker: BudgetTracker = field(default_factory=lambda: as_tracker(None))
     nodes: int = 0
     reductions_applied: int = 0
+    pruned_incumbent: int = 0
+    pruned_bound: int = 0
+    incumbents: int = 0
 
     def run(self, state: ReducedState) -> None:
         """Depth-first search over an explicit stack.
@@ -125,10 +132,12 @@ class _Search:
                 except CoveringError:
                     continue  # infeasible branch
             if state.cost >= self.best_cost:
+                self.pruned_incumbent += 1
                 continue
             if state.solved:
                 self.best_cost = state.cost
                 self.best_selection = tuple(sorted(state.selected))
+                self.incumbents += 1
                 continue
             if state.infeasible:
                 continue
@@ -138,6 +147,7 @@ class _Search:
                     state, use_lp=self.options.use_lp_bound, lp_row_limit=self.options.lp_row_limit
                 )
                 if state.cost + bound >= self.best_cost - 1e-12:
+                    self.pruned_bound += 1
                     continue
 
             branch_col = self._pick_branch_column(state)
@@ -169,6 +179,16 @@ class _Search:
         return best_name
 
 
+def _flush_search_counters(tracer, search: "_Search") -> None:
+    # Counters accumulate in plain ints on the hot path and flush once —
+    # keeps the traced overhead off the per-node loop entirely.
+    tracer.count("covering.bnb.nodes", search.nodes)
+    tracer.count("covering.bnb.reductions", search.reductions_applied)
+    tracer.count("covering.bnb.pruned_incumbent", search.pruned_incumbent)
+    tracer.count("covering.bnb.pruned_bound", search.pruned_bound)
+    tracer.count("covering.bnb.incumbents", search.incumbents)
+
+
 def solve_cover(
     problem: CoveringProblem,
     options: Optional[SolverOptions] = None,
@@ -187,44 +207,54 @@ def solve_cover(
     options = options or SolverOptions()
     problem.validate_coverable()
     tracker = as_tracker(budget)
+    tracer = current_tracer()
 
     if problem.n_rows == 0:
         return CoverSolution(column_names=(), weight=0.0, optimal=True, stats={"nodes": 0})
 
-    tracker.checkpoint("bnb.start")
-    incumbent = greedy_cover(problem, budget=tracker, site="bnb.seed")
-    search = _Search(
-        problem=problem,
-        options=options,
-        best_cost=incumbent.weight,
-        best_selection=tuple(sorted(incumbent.column_names)),
-        tracker=tracker,
-    )
-    try:
-        search.run(ReducedState.initial(problem))
-    except BudgetExceeded as exc:
-        partial = CoverSolution(
+    with tracer.span(
+        "covering.bnb", rows=problem.n_rows, columns=len(problem.columns)
+    ) as bnb_span:
+        tracker.checkpoint("bnb.start")
+        incumbent = greedy_cover(problem, budget=tracker, site="bnb.seed")
+        search = _Search(
+            problem=problem,
+            options=options,
+            best_cost=incumbent.weight,
+            best_selection=tuple(sorted(incumbent.column_names)),
+            tracker=tracker,
+        )
+        try:
+            search.run(ReducedState.initial(problem))
+        except BudgetExceeded as exc:
+            _flush_search_counters(tracer, search)
+            bnb_span.set("nodes", search.nodes)
+            bnb_span.set("optimal", False)
+            partial = CoverSolution(
+                column_names=search.best_selection,
+                weight=search.best_cost,
+                optimal=False,
+                stats={
+                    "nodes": search.nodes,
+                    "reductions": search.reductions_applied,
+                    "greedy_seed_weight": incumbent.weight,
+                },
+            )
+            problem.check_solution(partial)
+            raise BudgetExceeded(str(exc), reason=exc.reason, partial=partial) from exc
+
+        _flush_search_counters(tracer, search)
+        bnb_span.set("nodes", search.nodes)
+        bnb_span.set("optimal", True)
+        solution = CoverSolution(
             column_names=search.best_selection,
             weight=search.best_cost,
-            optimal=False,
+            optimal=True,
             stats={
                 "nodes": search.nodes,
                 "reductions": search.reductions_applied,
                 "greedy_seed_weight": incumbent.weight,
             },
         )
-        problem.check_solution(partial)
-        raise BudgetExceeded(str(exc), reason=exc.reason, partial=partial) from exc
-
-    solution = CoverSolution(
-        column_names=search.best_selection,
-        weight=search.best_cost,
-        optimal=True,
-        stats={
-            "nodes": search.nodes,
-            "reductions": search.reductions_applied,
-            "greedy_seed_weight": incumbent.weight,
-        },
-    )
-    problem.check_solution(solution)
-    return solution
+        problem.check_solution(solution)
+        return solution

@@ -18,6 +18,7 @@ ablation benchmark.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -25,6 +26,7 @@ import numpy as np
 from scipy import optimize
 
 from ..core.exceptions import BudgetExceeded, CoveringError
+from ..obs import current_tracer
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from .matrix import CoverSolution, CoveringProblem
 
@@ -65,6 +67,7 @@ def solve_ilp(
     """
     problem.validate_coverable()
     tracker = as_tracker(budget)
+    tracer = current_tracer()
     cols = problem.columns
     if not cols:
         if problem.n_rows == 0:
@@ -96,45 +99,59 @@ def solve_ilp(
             column_names=chosen, weight=best_weight, optimal=False, stats={"nodes": nodes}
         )
 
-    tracker.checkpoint("ilp.start")
-    while stack:
-        node = stack.pop()
-        nodes += 1
-        if nodes > max_nodes:
-            raise BudgetExceeded(
-                f"ILP branch-and-bound exceeded max_nodes={max_nodes}",
-                reason="nodes",
-                partial=_partial(),
-            )
+    lp_solves = 0
+    lp_time_s = 0.0
+    with tracer.span("covering.ilp", rows=len(rows), columns=n) as ilp_span:
+        tracker.checkpoint("ilp.start")
         try:
-            tracker.charge_node("ilp.node")
-        except BudgetExceeded as exc:
-            raise BudgetExceeded(
-                str(exc), reason=exc.reason, partial=exc.partial or _partial()
-            ) from exc
-        res = _lp(arrays, node.fixed_zero, node.fixed_one)
-        if not res.success:
-            continue  # infeasible subproblem
-        if res.fun >= best_weight - 1e-12:
-            continue
-        x = np.asarray(res.x)
-        frac = np.abs(x - np.round(x))
-        j = int(np.argmax(frac))
-        if frac[j] <= _INT_TOL:
-            xi = np.round(x).astype(int)
-            weight = float(weights @ xi)
-            if weight < best_weight:
-                best_weight = weight
-                best_x = xi
-            continue
-        stack.append(_Node(node.fixed_zero | {j}, node.fixed_one))
-        stack.append(_Node(node.fixed_zero, node.fixed_one | {j}))
+            while stack:
+                node = stack.pop()
+                nodes += 1
+                if nodes > max_nodes:
+                    raise BudgetExceeded(
+                        f"ILP branch-and-bound exceeded max_nodes={max_nodes}",
+                        reason="nodes",
+                        partial=_partial(),
+                    )
+                try:
+                    tracker.charge_node("ilp.node")
+                except BudgetExceeded as exc:
+                    raise BudgetExceeded(
+                        str(exc), reason=exc.reason, partial=exc.partial or _partial()
+                    ) from exc
+                lp_start = time.perf_counter()
+                res = _lp(arrays, node.fixed_zero, node.fixed_one)
+                lp_time_s += time.perf_counter() - lp_start
+                lp_solves += 1
+                if not res.success:
+                    continue  # infeasible subproblem
+                if res.fun >= best_weight - 1e-12:
+                    continue
+                x = np.asarray(res.x)
+                frac = np.abs(x - np.round(x))
+                j = int(np.argmax(frac))
+                if frac[j] <= _INT_TOL:
+                    xi = np.round(x).astype(int)
+                    weight = float(weights @ xi)
+                    if weight < best_weight:
+                        best_weight = weight
+                        best_x = xi
+                    continue
+                stack.append(_Node(node.fixed_zero | {j}, node.fixed_one))
+                stack.append(_Node(node.fixed_zero, node.fixed_one | {j}))
+        finally:
+            # Deterministic counts; LP wall time is process/load dependent
+            # and therefore a *local* counter.
+            tracer.count("covering.ilp.nodes", nodes)
+            tracer.count("covering.ilp.lp_solves", lp_solves)
+            tracer.count_local("covering.ilp.lp_time_s", lp_time_s)
+            ilp_span.set("nodes", nodes)
 
-    if best_x is None:
-        raise CoveringError("ILP found no integral solution")
-    selection = tuple(sorted(names[j] for j in range(n) if best_x[j] == 1))
-    solution = CoverSolution(
-        column_names=selection, weight=best_weight, optimal=True, stats={"nodes": nodes}
-    )
-    problem.check_solution(solution)
-    return solution
+        if best_x is None:
+            raise CoveringError("ILP found no integral solution")
+        selection = tuple(sorted(names[j] for j in range(n) if best_x[j] == 1))
+        solution = CoverSolution(
+            column_names=selection, weight=best_weight, optimal=True, stats={"nodes": nodes}
+        )
+        problem.check_solution(solution)
+        return solution

@@ -17,6 +17,7 @@ from ..core.constraint_graph import ConstraintGraph
 from ..core.geometry import Point, norm_by_name
 from ..core.library import CommunicationLibrary, Link, NodeKind, NodeSpec
 from ..core.synthesis import SynthesisResult
+from ..obs import metrics_dict
 
 __all__ = [
     "constraint_graph_to_dict",
@@ -140,6 +141,7 @@ def synthesis_result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
         "link_instances": len(impl.arcs),
         "elapsed_seconds": result.elapsed_seconds,
         "degradation": result.degradation.to_dict() if result.degradation else None,
+        "metrics": metrics_dict(result.trace) if result.trace is not None else None,
     }
 
 

@@ -1,0 +1,87 @@
+"""Structural validation of Chrome trace-event JSON.
+
+The trace-event format has no official JSON Schema; viewers are
+forgiving, but a malformed export fails *silently* there (events simply
+vanish), which is the worst failure mode for an observability layer.
+:func:`validate_chrome_trace` therefore enforces, loudly, the subset of
+the `Trace Event Format`_ contract our exporter relies on:
+
+- the top level is the JSON Array-in-Object flavor: a dict whose
+  ``"traceEvents"`` key holds a list of event dicts;
+- every event has a string ``name``, a known one-character phase
+  ``ph``, and integer ``pid``/``tid``;
+- every non-metadata event has a nonnegative numeric ``ts`` (µs);
+- complete events (``"X"``) carry a nonnegative numeric ``dur``;
+- counter events (``"C"``) carry an ``args`` dict of numeric series;
+- when ``args`` is present it is a dict with string keys.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["validate_chrome_trace"]
+
+#: the phase letters defined by the trace-event format.
+_KNOWN_PHASES = frozenset(
+    ["B", "E", "X", "i", "I", "C", "b", "n", "e", "s", "t", "f",
+     "P", "N", "O", "D", "M", "V", "v", "R", "c", "(", ")"]
+)
+
+
+def _fail(index: int, message: str) -> None:
+    raise ValueError(f"traceEvents[{index}]: {message}")
+
+
+def validate_chrome_trace(data: Any) -> None:
+    """Raise :class:`ValueError` unless ``data`` is a structurally valid
+    Chrome trace-event object (JSON Array-in-Object flavor)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(data).__name__}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must have a 'traceEvents' list")
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            _fail(index, f"event must be an object, got {type(event).__name__}")
+        _validate_event(index, event)
+
+
+def _validate_event(index: int, event: Dict[str, Any]) -> None:
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        _fail(index, f"'name' must be a nonempty string, got {name!r}")
+    ph = event.get("ph")
+    if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+        _fail(index, f"'ph' must be a known phase letter, got {ph!r}")
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            _fail(index, f"'{key}' must be an integer, got {value!r}")
+
+    if ph != "M":  # metadata events are timeless
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            _fail(index, f"'ts' must be a nonnegative number, got {ts!r}")
+
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            _fail(index, f"complete event 'dur' must be a nonnegative number, got {dur!r}")
+
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        _fail(index, f"'args' must be an object when present, got {type(args).__name__}")
+    if args is not None and any(not isinstance(k, str) for k in args):
+        _fail(index, "'args' keys must be strings")
+
+    if ph == "C":
+        if not isinstance(args, dict) or not args:
+            _fail(index, "counter event must carry a nonempty 'args' object")
+        for key, value in args.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(index, f"counter series {key!r} must be numeric, got {value!r}")

@@ -36,6 +36,7 @@ from ..core.exceptions import (
 from ..covering.bnb import SolverOptions, greedy_cover, solve_cover
 from ..covering.ilp import solve_ilp
 from ..covering.matrix import CoverSolution, CoveringProblem
+from ..obs import current_tracer
 from .budget import Budget, BudgetTracker, as_tracker
 from .faults import fault_point
 from .report import DegradationReport, ResultQuality, StageAttempt
@@ -118,6 +119,7 @@ class Supervisor:
         """
         problem.validate_coverable()  # infeasibility is not a degradation case
         tracker = as_tracker(self.budget)
+        tracer = current_tracer()
         attempts: List[StageAttempt] = []
         # best interrupted-stage incumbent: (weight, solution, source)
         incumbent: Optional[Tuple[float, CoverSolution, str]] = None
@@ -130,60 +132,76 @@ class Supervisor:
                 attempts.append(
                     StageAttempt(stage, 0, "skipped", detail="global deadline exhausted")
                 )
+                tracer.count("supervisor.stages.skipped")
                 continue
             is_last = index == len(self.stages) - 1
             for attempt in range(1, self.retry.max_attempts + 1):
                 stage_tracker = tracker.stage(share=1.0 if is_last else self.stage_share)
                 t0 = time.perf_counter()
-                try:
-                    fault_point(f"supervisor.{stage}")
-                    solution = self._run_stage(stage, problem, stage_tracker)
-                    attempts.append(
-                        StageAttempt(stage, attempt, "completed", time.perf_counter() - t0)
-                    )
-                    completed = (solution, stage)
-                    break
-                except BudgetExceeded as exc:
-                    attempts.append(
-                        StageAttempt(
-                            stage, attempt, "budget_exceeded",
-                            time.perf_counter() - t0, detail=str(exc),
+                tracer.count("supervisor.attempts")
+                pending_backoff = 0.0  # sleep outside the span: it is not solver time
+                # One span per attempt, aligned with the StageAttempt rows
+                # of the DegradationReport (same stage name and outcome).
+                with tracer.span(f"supervisor.{stage}", attempt=attempt) as stage_span:
+                    try:
+                        fault_point(f"supervisor.{stage}")
+                        solution = self._run_stage(stage, problem, stage_tracker)
+                        attempts.append(
+                            StageAttempt(stage, attempt, "completed", time.perf_counter() - t0)
                         )
-                    )
-                    if exc.partial is not None and (
-                        incumbent is None or exc.partial.weight < incumbent[0] - 1e-12
-                    ):
-                        incumbent = (exc.partial.weight, exc.partial, f"{stage}-partial")
-                    break  # a budget does not come back: fall through to the next stage
-                except TransientSolverError as exc:
-                    elapsed = time.perf_counter() - t0
-                    retriable = attempt < self.retry.max_attempts and not tracker.expired()
-                    backoff = 0.0
-                    if retriable:
-                        backoff = min(
-                            self.retry.backoff_s(attempt),
-                            max(0.0, tracker.remaining_s()),
-                        )
-                    attempts.append(
-                        StageAttempt(
-                            stage, attempt, "transient_error",
-                            elapsed, detail=str(exc), backoff_s=backoff,
-                        )
-                    )
-                    if not retriable:
+                        stage_span.set("outcome", "completed")
+                        tracer.count("supervisor.attempts.completed")
+                        completed = (solution, stage)
                         break
-                    if backoff > 0:
-                        self._sleep(backoff)
-                except InfeasibleError:
-                    raise  # no budget can fix a truly infeasible instance
-                except SynthesisError as exc:
-                    attempts.append(
-                        StageAttempt(
-                            stage, attempt, "error",
-                            time.perf_counter() - t0, detail=str(exc),
+                    except BudgetExceeded as exc:
+                        attempts.append(
+                            StageAttempt(
+                                stage, attempt, "budget_exceeded",
+                                time.perf_counter() - t0, detail=str(exc),
+                            )
                         )
-                    )
-                    break  # hard failure: no retry, fall through
+                        stage_span.set("outcome", "budget_exceeded")
+                        tracer.count("supervisor.attempts.budget_exceeded")
+                        if exc.partial is not None and (
+                            incumbent is None or exc.partial.weight < incumbent[0] - 1e-12
+                        ):
+                            incumbent = (exc.partial.weight, exc.partial, f"{stage}-partial")
+                        break  # a budget does not come back: fall through to the next stage
+                    except TransientSolverError as exc:
+                        elapsed = time.perf_counter() - t0
+                        retriable = attempt < self.retry.max_attempts and not tracker.expired()
+                        backoff = 0.0
+                        if retriable:
+                            backoff = min(
+                                self.retry.backoff_s(attempt),
+                                max(0.0, tracker.remaining_s()),
+                            )
+                        attempts.append(
+                            StageAttempt(
+                                stage, attempt, "transient_error",
+                                elapsed, detail=str(exc), backoff_s=backoff,
+                            )
+                        )
+                        stage_span.set("outcome", "transient_error")
+                        tracer.count("supervisor.attempts.transient_error")
+                        if not retriable:
+                            break
+                        pending_backoff = backoff
+                    except InfeasibleError:
+                        stage_span.set("outcome", "infeasible")
+                        raise  # no budget can fix a truly infeasible instance
+                    except SynthesisError as exc:
+                        attempts.append(
+                            StageAttempt(
+                                stage, attempt, "error",
+                                time.perf_counter() - t0, detail=str(exc),
+                            )
+                        )
+                        stage_span.set("outcome", "error")
+                        tracer.count("supervisor.attempts.error")
+                        break  # hard failure: no retry, fall through
+                if pending_backoff > 0:
+                    self._sleep(pending_backoff)
 
         return self._conclude(tracker, attempts, completed, incumbent, candidate_set_complete)
 

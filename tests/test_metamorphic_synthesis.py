@@ -1,0 +1,149 @@
+"""Metamorphic properties of the end-to-end synthesis.
+
+Transformations of the input with a known effect on the output:
+
+- **isometry invariance** — translating or rotating every port leaves
+  the total implementation cost unchanged (the Euclidean norm, and
+  hence every Γ/Δ entry, distance and merge-point geometry, is
+  isometry-invariant);
+- **cost-scaling homogeneity** — multiplying every library cost by
+  ``c > 0`` multiplies the optimal implementation cost by exactly
+  ``c`` (the optimization landscape is scaled uniformly, so the argmin
+  is unchanged);
+- **merging monotonicity** — forbidding merging (``max_arity=1``)
+  can never be cheaper than full synthesis: the full candidate set is
+  a superset, and unate covering only improves with more columns.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.constraint_graph import ConstraintGraph
+from repro.core.geometry import EUCLIDEAN, Point
+from repro.core.library import CommunicationLibrary, Link, NodeSpec
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.domains.wan import (
+    WAN_ARCS,
+    WAN_BANDWIDTH_BPS,
+    WAN_POSITIONS,
+    wan_library,
+)
+
+
+def wan_graph_transformed(transform) -> ConstraintGraph:
+    """The WAN constraint graph with every port position transformed."""
+    graph = ConstraintGraph(norm=EUCLIDEAN, name="wan-transformed")
+    for name, pos in WAN_POSITIONS.items():
+        graph.add_port(name, transform(pos), module=name)
+    for arc_name, (src, dst) in WAN_ARCS.items():
+        graph.add_channel(arc_name, src, dst, bandwidth=WAN_BANDWIDTH_BPS)
+    return graph
+
+
+def scaled_library(base: CommunicationLibrary, c: float) -> CommunicationLibrary:
+    """Every link and node cost multiplied by ``c``."""
+    lib = CommunicationLibrary(f"{base.name}-x{c}")
+    for link in base.links:
+        lib.add_link(
+            Link(
+                link.name,
+                bandwidth=link.bandwidth,
+                max_length=link.max_length,
+                cost_fixed=link.cost_fixed * c,
+                cost_per_unit=link.cost_per_unit * c,
+            )
+        )
+    for node in base.nodes:
+        lib.add_node(NodeSpec(node.name, node.kind, cost=node.cost * c))
+    return lib
+
+
+def rotation(theta: float):
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    return lambda p: Point(p.x * cos_t - p.y * sin_t, p.x * sin_t + p.y * cos_t)
+
+
+def translation(dx: float, dy: float):
+    return lambda p: Point(p.x + dx, p.y + dy)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    graph = wan_graph_transformed(lambda p: p)
+    return synthesize(graph, wan_library())
+
+
+class TestIsometryInvariance:
+    @pytest.mark.parametrize("dx,dy", [(13.0, -7.5), (-200.0, 450.0), (0.001, 0.0)])
+    def test_translation_preserves_cost(self, baseline, dx, dy):
+        moved = synthesize(wan_graph_transformed(translation(dx, dy)), wan_library())
+        assert moved.total_cost == pytest.approx(baseline.total_cost, rel=1e-9)
+        assert sorted(map(sorted, moved.merged_groups)) == sorted(
+            map(sorted, baseline.merged_groups)
+        )
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 2.1])
+    def test_rotation_preserves_cost(self, baseline, theta):
+        rotated = synthesize(wan_graph_transformed(rotation(theta)), wan_library())
+        assert rotated.total_cost == pytest.approx(baseline.total_cost, rel=1e-9)
+        assert sorted(map(sorted, rotated.merged_groups)) == sorted(
+            map(sorted, baseline.merged_groups)
+        )
+
+    def test_composed_isometry_preserves_cost(self, baseline):
+        rot = rotation(-0.8)
+        move = translation(55.0, -12.0)
+        composed = synthesize(
+            wan_graph_transformed(lambda p: move(rot(p))), wan_library()
+        )
+        assert composed.total_cost == pytest.approx(baseline.total_cost, rel=1e-9)
+
+
+class TestCostScaling:
+    @pytest.mark.parametrize("c", [0.5, 2.0, 3.5, 1000.0])
+    def test_uniform_cost_scaling_scales_optimum(self, baseline, c):
+        scaled = synthesize(
+            wan_graph_transformed(lambda p: p), scaled_library(wan_library(), c)
+        )
+        assert scaled.total_cost == pytest.approx(baseline.total_cost * c, rel=1e-9)
+        # the argmin is scale-invariant: same merging structure selected
+        assert sorted(map(sorted, scaled.merged_groups)) == sorted(
+            map(sorted, baseline.merged_groups)
+        )
+
+    @pytest.mark.parametrize("c", [0.5, 4.0])
+    def test_point_to_point_baseline_scales_too(self, baseline, c):
+        scaled = synthesize(
+            wan_graph_transformed(lambda p: p), scaled_library(wan_library(), c)
+        )
+        assert scaled.point_to_point_cost == pytest.approx(
+            baseline.point_to_point_cost * c, rel=1e-9
+        )
+        assert scaled.savings_ratio == pytest.approx(baseline.savings_ratio, rel=1e-9)
+
+
+class TestMergingMonotonicity:
+    def test_disabling_merging_never_cheaper(self, baseline):
+        no_merge = synthesize(
+            wan_graph_transformed(lambda p: p),
+            wan_library(),
+            SynthesisOptions(max_arity=1),
+        )
+        assert no_merge.total_cost >= baseline.total_cost - 1e-9
+        assert no_merge.merged_groups == []
+        # without merging the optimum is exactly the p2p baseline
+        assert no_merge.total_cost == pytest.approx(
+            baseline.point_to_point_cost, rel=1e-9
+        )
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_tighter_arity_caps_never_cheaper(self, baseline, arity):
+        capped = synthesize(
+            wan_graph_transformed(lambda p: p),
+            wan_library(),
+            SynthesisOptions(max_arity=arity),
+        )
+        assert capped.total_cost >= baseline.total_cost - 1e-9

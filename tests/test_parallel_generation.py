@@ -273,3 +273,60 @@ class TestLibraryDerivedCaches:
         assert best_point_to_point(50.0, 10.0, clone).cost == pytest.approx(
             best_point_to_point(50.0, 10.0, lib).cost
         )
+
+
+class TestWorkerCounterAccounting:
+    """Every exported count must equal the sum of per-worker obs
+    counters — drift between the stats a run reports and the work its
+    workers actually did would make both untrustworthy."""
+
+    @pytest.fixture(scope="class")
+    def traced_parallel(self, wan_graph, wan_lib):
+        from repro.obs import Tracer, tracing
+
+        tracer = Tracer(label="accounting")
+        with tracing(tracer):
+            candidates = generate_candidates(wan_graph, wan_lib, jobs=4)
+        return candidates, tracer
+
+    def test_workers_reported(self, traced_parallel):
+        _, tracer = traced_parallel
+        assert tracer.worker_snapshots
+        for snap in tracer.worker_snapshots:
+            assert snap.label.startswith("worker-")
+            assert snap.counters["candidates.plans.built"] > 0
+
+    def test_survivor_counts_equal_worker_sums(self, traced_parallel):
+        candidates, tracer = traced_parallel
+        workers = tracer.worker_snapshots
+        for k, survivors in candidates.stats.survivors_by_k.items():
+            worker_sum = sum(
+                snap.counters.get(f"candidates.survivors.k{k}", 0) for snap in workers
+            )
+            assert worker_sum == survivors, f"k={k} drifted"
+
+    def test_built_counts_balance(self, traced_parallel):
+        _, tracer = traced_parallel
+        for snap in tracer.worker_snapshots:
+            built = snap.counters["candidates.plans.built"]
+            feasible = snap.counters.get("candidates.plans.feasible", 0)
+            infeasible = snap.counters.get("candidates.plans.infeasible", 0)
+            assert built == feasible + infeasible
+
+    def test_merged_totals_equal_stats(self, traced_parallel):
+        candidates, tracer = traced_parallel
+        c = tracer.counters
+        total_plans = sum(candidates.stats.pruning_survivors_by_k.values())
+        assert c["candidates.plans.built"] == total_plans
+        assert c["candidates.plans.feasible"] == sum(
+            candidates.stats.survivors_by_k.values()
+        )
+
+    def test_parallel_counters_match_serial(self, wan_graph, wan_lib, traced_parallel):
+        from repro.obs import Tracer, tracing
+
+        _, parallel_tracer = traced_parallel
+        serial_tracer = Tracer(label="serial")
+        with tracing(serial_tracer):
+            generate_candidates(wan_graph, wan_lib, jobs=None)
+        assert serial_tracer.counters == parallel_tracer.counters
