@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 
 from repro import generate_candidates
+from repro.io import atomic_write
 from repro.netgen import clustered_graph, two_tier_library
 
 from .conftest import comparison_table
@@ -76,7 +77,7 @@ def test_bench_parallel_candidates(benchmark):
         "mergings": len(serial.mergings),
         "identical": True,
     }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write(RESULT_PATH, json.dumps(record, indent=2) + "\n")
 
     print()
     print(

@@ -27,6 +27,9 @@ from .core import (  # noqa: F401
     ArcMatrices,
     AssumptionViolation,
     BudgetExceeded,
+    CheckpointError,
+    CheckpointIncompatibleError,
+    InstanceFormatError,
     TransientSolverError,
     AuditReport,
     audit_result,
@@ -99,6 +102,7 @@ from .obs import (  # noqa: F401
 from .runtime import (  # noqa: F401
     Budget,
     BudgetTracker,
+    CheckpointJournal,
     DegradationReport,
     FaultInjector,
     FaultSpec,
@@ -106,6 +110,8 @@ from .runtime import (  # noqa: F401
     RetryPolicy,
     StageAttempt,
     Supervisor,
+    WorkerCrashFault,
+    instance_fingerprint,
 )
 
 __version__ = "1.0.0"

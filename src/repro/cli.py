@@ -30,8 +30,15 @@ from .analysis import (
     render_implementation_svg,
     synthesis_report,
 )
-from .core.exceptions import BudgetExceeded, InfeasibleError, ValidationError
+from .core.exceptions import (
+    BudgetExceeded,
+    CheckpointError,
+    InfeasibleError,
+    InstanceFormatError,
+    ValidationError,
+)
 from .io import (
+    atomic_write,
     implementation_to_dot,
     load_instance,
     save_instance,
@@ -44,6 +51,8 @@ __all__ = [
     "EXIT_INFEASIBLE",
     "EXIT_BUDGET_EXCEEDED",
     "EXIT_VALIDATION_FAILURE",
+    "EXIT_BAD_INSTANCE",
+    "EXIT_CHECKPOINT_INCOMPATIBLE",
 ]
 
 _DEMOS = ("wan", "mpeg4", "lan", "soc")
@@ -51,15 +60,21 @@ _DEMOS = ("wan", "mpeg4", "lan", "soc")
 #: exit-code taxonomy (also in every subcommand's --help epilog):
 #: 0 = success, 1 = runtime failure, 2 = infeasible instance (or a
 #: usage error, per argparse convention), 3 = budget exceeded before a
-#: servable result, 4 = Definition 2.4 validation failure.
+#: servable result, 4 = Definition 2.4 validation failure, 5 = malformed
+#: instance file, 6 = checkpoint journal incompatible with the instance.
 EXIT_INFEASIBLE = 2
 EXIT_BUDGET_EXCEEDED = 3
 EXIT_VALIDATION_FAILURE = 4
+EXIT_BAD_INSTANCE = 5
+EXIT_CHECKPOINT_INCOMPATIBLE = 6
 
 _EXIT_CODES_EPILOG = (
     "exit codes: 0 success; 1 unexpected failure; 2 infeasible instance; "
     "3 budget exceeded before any servable result "
-    "(see --deadline / --on-budget-exhausted); 4 validation failure"
+    "(see --deadline / --on-budget-exhausted); 4 validation failure; "
+    "5 malformed instance file (the diagnostic names the offending "
+    "field); 6 checkpoint journal incompatible with the instance "
+    "(see --checkpoint / --resume)"
 )
 
 
@@ -128,6 +143,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for candidate generation (default: serial). "
         "Results are identical to serial; with --deadline the budget is "
         "enforced between parallel chunks",
+    )
+    syn.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="record completed work units in a crash-tolerant journal at "
+        "FILE; if the process is killed, rerunning with --resume picks "
+        "up where it left off with an identical result",
+    )
+    syn.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: resume from an existing journal "
+        "(missing file = fresh start; a journal from a different "
+        "instance exits 6; a corrupted tail is discarded with a notice)",
     )
     syn.add_argument("--out", help="write a JSON result summary here")
     syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
@@ -216,7 +245,34 @@ def _demo_instance(name: str):
     return graph, library, default_arity
 
 
+def _report_checkpoint_tail(args: argparse.Namespace, graph, library, options) -> None:
+    """Print a one-line notice when a resumed journal has a corrupted tail.
+
+    Opening with ``resume`` discards (truncates) the tail, so the
+    synthesis that follows resumes over valid records only.  Fingerprint
+    mismatches surface here too — before any work is spent.
+    """
+    from pathlib import Path
+
+    from .runtime.checkpoint import CheckpointJournal, instance_fingerprint
+
+    if not Path(args.checkpoint).exists():
+        return
+    peek = CheckpointJournal.open(
+        args.checkpoint, instance_fingerprint(graph, library, options), resume=True
+    )
+    try:
+        if peek.tail_report is not None:
+            # a diagnostic, not part of the report: stderr, even --quiet
+            print(f"checkpoint: {peek.tail_report}", file=sys.stderr)
+    finally:
+        peek.close()
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint FILE", file=sys.stderr)
+        return 2  # argparse usage-error convention
     graph, library = load_instance(args.instance)
     options = SynthesisOptions(
         pruning=PruningLevel(args.pruning),
@@ -225,7 +281,11 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         validate_result=not args.no_validate,
         on_budget_exhausted=args.on_budget_exhausted,
         jobs=args.jobs,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
     )
+    if args.resume:
+        _report_checkpoint_tail(args, graph, library, options)
     budget = Budget(deadline_s=args.deadline) if args.deadline is not None else None
     trace = bool(args.trace or args.trace_summary)
     result = synthesize(graph, library, options, budget=budget, trace=trace)
@@ -235,16 +295,16 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             print(f"runtime: {result.degradation.summary()}")
     _emit_trace(args, result)
     if args.out:
-        with open(args.out, "w") as f:
-            json.dump(synthesis_result_to_dict(result), f, indent=2, sort_keys=True)
+        atomic_write(
+            args.out,
+            json.dumps(synthesis_result_to_dict(result), indent=2, sort_keys=True),
+        )
         print(f"result summary written to {args.out}")
     if args.svg:
-        with open(args.svg, "w") as f:
-            f.write(render_implementation_svg(result.implementation))
+        atomic_write(args.svg, render_implementation_svg(result.implementation))
         print(f"SVG written to {args.svg}")
     if args.dot:
-        with open(args.dot, "w") as f:
-            f.write(implementation_to_dot(result.implementation))
+        atomic_write(args.dot, implementation_to_dot(result.implementation))
         print(f"DOT written to {args.dot}")
     return 0
 
@@ -359,7 +419,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Maps the exception taxonomy to distinct exit codes (documented in
     ``--help``): infeasible instances exit 2, exhausted budgets exit 3,
-    Definition 2.4 validation failures exit 4.
+    Definition 2.4 validation failures exit 4, malformed instance files
+    exit 5, incompatible checkpoint journals exit 6.  Malformed inputs
+    never produce a raw traceback.
     """
     args = build_parser().parse_args(argv)
     handlers = {
@@ -376,12 +438,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         # before InfeasibleError/ValidationError: it subclasses CoveringError
         print(f"error: budget exceeded: {exc}", file=sys.stderr)
         return EXIT_BUDGET_EXCEEDED
+    except InstanceFormatError as exc:
+        # before InfeasibleError: both derive from SynthesisError
+        print(f"error: invalid instance: {exc}", file=sys.stderr)
+        return EXIT_BAD_INSTANCE
+    except CheckpointError as exc:
+        # covers CheckpointIncompatibleError (fingerprint/version
+        # mismatch) and unusable journal files alike
+        print(f"error: checkpoint: {exc}", file=sys.stderr)
+        return EXIT_CHECKPOINT_INCOMPATIBLE
     except InfeasibleError as exc:
         print(f"error: infeasible: {exc}", file=sys.stderr)
         return EXIT_INFEASIBLE
     except ValidationError as exc:
         print(f"error: validation failed: {exc}", file=sys.stderr)
         return EXIT_VALIDATION_FAILURE
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -11,8 +11,11 @@ from .constraint_graph import Arc, ConstraintGraph, Port
 from .exceptions import (
     AssumptionViolation,
     BudgetExceeded,
+    CheckpointError,
+    CheckpointIncompatibleError,
     CoveringError,
     InfeasibleError,
+    InstanceFormatError,
     LibraryError,
     ModelError,
     SynthesisError,

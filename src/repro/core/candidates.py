@@ -32,6 +32,7 @@ from __future__ import annotations
 import itertools
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
@@ -40,6 +41,8 @@ import numpy as np
 
 from ..obs import TracerLike, Tracer, TraceSnapshot, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
+from ..runtime.checkpoint import CheckpointJournal
+from ..runtime.faults import WorkerCrashFault, fault_point
 from .constraint_graph import ConstraintGraph
 from .exceptions import BudgetExceeded, InfeasibleError
 from .library import CommunicationLibrary
@@ -148,6 +151,14 @@ class GenerationStats:
     pruning_survivors_by_k: Dict[int, int] = field(default_factory=dict)
     #: arcs retired (Theorem 3.1) keyed by the arity at which they fell out.
     retired_at_k: Dict[str, int] = field(default_factory=dict)
+    #: pool workers that died (killed, segfault) and whose chunk was
+    #: re-dispatched — each recovery is one pool rebuild.  Candidates
+    #: and covering results are unaffected (ordering is preserved);
+    #: the count is surfaced on the DegradationReport of budgeted runs.
+    worker_recoveries: int = 0
+    #: planning chunks replayed from a checkpoint journal instead of
+    #: re-solved (resume runs only).
+    chunks_replayed: int = 0
 
     @property
     def total_mergings(self) -> int:
@@ -185,6 +196,7 @@ def generate_candidates(
     hop_penalty: float = 0.0,
     budget: Union[Budget, BudgetTracker, None] = None,
     jobs: Optional[int] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> CandidateSet:
     """Run Figure 2's candidate generation on ``graph`` over ``library``.
 
@@ -223,7 +235,21 @@ def generate_candidates(
     Chunks are consumed in submission order, so a parallel run returns
     candidates, costs and stats *identical* to a serial one; the
     ``budget`` deadline is enforced between chunks, preserving the
-    ``budget_truncated`` semantics under parallelism.
+    ``budget_truncated`` semantics under parallelism.  A worker that
+    *dies* (killed, segfault, unpicklable crash) does not surface as
+    ``BrokenProcessPool``: the pool is rebuilt and the lost chunk
+    re-dispatched (in-process on a second failure), preserving the
+    serial-identical ordering; recoveries are counted in
+    ``stats.worker_recoveries`` and the ``pool.worker_recoveries``
+    local obs counter.
+
+    ``journal`` (a :class:`~repro.runtime.checkpoint.CheckpointJournal`)
+    makes the expensive planning passes crash-tolerant: every completed
+    planning chunk is durably recorded, and a resumed run replays
+    recorded chunks instead of re-solving their placements.  The
+    pruning passes re-run on resume (they are cheap and deterministic);
+    replayed chunks still feed the plan-outcome obs counters, so a
+    resumed run reports the same deterministic totals as a fresh one.
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count, got {jobs}")
@@ -259,21 +285,19 @@ def generate_candidates(
         mergings: List[Candidate] = []
         if n >= 2:
             matrices = compute_matrices(graph)
-            pool: Optional[ProcessPoolExecutor] = None
+            pool: Optional[_PoolManager] = None
             try:
                 if jobs is not None and jobs > 1:
-                    pool = ProcessPoolExecutor(
-                        max_workers=jobs,
-                        initializer=_pool_init,
-                        initargs=(graph, library, polish_placement, tracer.enabled),
+                    pool = _PoolManager(
+                        jobs, graph, library, polish_placement, tracer.enabled
                     )
                 mergings = _enumerate_mergings(
                     graph, library, matrices, pruning, max_arity, stats, polish_placement,
-                    tracker=tracker, pool=pool,
+                    tracker=tracker, pool=pool, journal=journal,
                 )
             finally:
                 if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool.shutdown()
 
         if max_merge_hops is not None:
             before = len(mergings)
@@ -350,6 +374,7 @@ def _record_plan_outcome(
 
 def _pool_plan_chunk(
     groups: Sequence[Tuple[str, ...]],
+    crash: bool = False,
 ) -> Tuple[List[Optional[MergingPlan]], Optional[TraceSnapshot]]:
     """Worker task: solve one chunk of placement problems, in order.
 
@@ -358,10 +383,19 @@ def _pool_plan_chunk(
     bit-identical to the serial loop — plus, when the parent run is
     traced, a :class:`~repro.obs.TraceSnapshot` of this chunk's spans
     and counters for deterministic merging into the parent trace.
+
+    ``crash`` is set by the dispatcher when a ``worker_crash`` fault
+    fired for this chunk: the worker solves its first placement and
+    then dies abruptly (``os._exit``), exactly as a segfault or an OOM
+    kill would — no exception, no cleanup, a broken pool.
     """
     graph: ConstraintGraph = _POOL_STATE["graph"]  # type: ignore[assignment]
     library: CommunicationLibrary = _POOL_STATE["library"]  # type: ignore[assignment]
     polish: bool = _POOL_STATE["polish"]  # type: ignore[assignment]
+    if crash:
+        if groups:
+            build_merging_plan(graph, list(groups[0]), library, polish_placement=polish)
+        os._exit(13)  # mid-chunk, uncatchable: simulates SIGKILL/segfault
     if not _POOL_STATE.get("trace"):
         plans = [
             build_merging_plan(graph, list(group), library, polish_placement=polish)
@@ -382,6 +416,46 @@ def _pool_plan_chunk(
                 _record_plan_outcome(tracer, len(group), plan)
                 plans.append(plan)
     return plans, tracer.snapshot()
+
+
+class _PoolManager:
+    """A self-healing :class:`ProcessPoolExecutor` for planning chunks.
+
+    ``ProcessPoolExecutor`` is fail-stop: one abruptly-dead worker
+    breaks the whole pool and every pending future raises
+    :class:`BrokenProcessPool`.  The manager owns the executor plus the
+    arguments needed to recreate it, so the planning loop can
+    :meth:`rebuild` after a crash and re-dispatch lost chunks instead
+    of surfacing the break to the caller.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        graph: ConstraintGraph,
+        library: CommunicationLibrary,
+        polish_placement: bool,
+        trace: bool,
+    ) -> None:
+        self.jobs = jobs
+        self._initargs = (graph, library, polish_placement, trace)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def submit(self, fn, *args) -> Future:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=_pool_init, initargs=self._initargs
+            )
+        return self._pool.submit(fn, *args)
+
+    def rebuild(self) -> None:
+        """Discard the broken executor; the next submit starts a fresh one."""
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
 
 
 def _prune_arity(
@@ -452,6 +526,27 @@ def _prune_arity(
         survivors.extend(tuple(row) for row in arr.tolist())
 
 
+def _absorb_plans(
+    plans: Sequence[Optional[MergingPlan]],
+    k: int,
+    stats: GenerationStats,
+    candidates: List[Candidate],
+) -> None:
+    """Fold one chunk's plans into the stats and candidate list."""
+    for plan in plans:
+        if plan is None:
+            stats.infeasible_plans += 1
+            continue
+        stats.survivors_by_k[k] += 1
+        candidates.append(Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan))
+
+
+def _chunked(groups: Sequence[Tuple[str, ...]]) -> List[List[Tuple[str, ...]]]:
+    """The canonical planning-chunk boundaries (shared by the serial
+    path, the pool dispatch, and the checkpoint journal keys)."""
+    return [list(groups[i:i + _PLAN_CHUNK]) for i in range(0, len(groups), _PLAN_CHUNK)]
+
+
 def _plan_arity_serial(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
@@ -462,36 +557,58 @@ def _plan_arity_serial(
     candidates: List[Candidate],
     tracker: BudgetTracker,
     polish_placement: bool,
+    journal: Optional[CheckpointJournal] = None,
 ) -> bool:
-    """Cost one arity's survivors in-process; False ⇒ budget truncated."""
+    """Cost one arity's survivors in-process; False ⇒ budget truncated.
+
+    Work proceeds in the same ``_PLAN_CHUNK`` boundaries the parallel
+    path dispatches, so journal records written serially replay under
+    ``jobs=N`` and vice versa.  Replayed chunks still feed the
+    plan-outcome counters (the totals stay deterministic across
+    fresh/resumed and serial/parallel runs).
+    """
     tracer = current_tracer()
-    for subset in survivors_k:
-        try:
-            tracker.checkpoint("candidates.plan")
-        except BudgetExceeded:
-            stats.budget_truncated = True
-            return False
-        plan = build_merging_plan(
-            graph, [names[i] for i in subset], library,
-            polish_placement=polish_placement,
-        )
-        _record_plan_outcome(tracer, k, plan)
-        if plan is None:
-            stats.infeasible_plans += 1
-            continue
-        stats.survivors_by_k[k] += 1
-        candidates.append(Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan))
+    for index, chunk in enumerate(_chunked([tuple(names[i] for i in s) for s in survivors_k])):
+        plans = journal.get_chunk(k, index, chunk) if journal is not None else None
+        if plans is not None:
+            stats.chunks_replayed += 1
+            for plan in plans:
+                _record_plan_outcome(tracer, k, plan)
+        else:
+            plans = []
+            for group in chunk:
+                try:
+                    tracker.checkpoint("candidates.plan")
+                except BudgetExceeded:
+                    # keep the partial chunk's work (anytime semantics)
+                    # but never journal it: only *completed* chunks are
+                    # durable, so a resume re-solves this one whole.
+                    stats.budget_truncated = True
+                    _absorb_plans(plans, k, stats, candidates)
+                    return False
+                plan = build_merging_plan(
+                    graph, list(group), library, polish_placement=polish_placement
+                )
+                _record_plan_outcome(tracer, k, plan)
+                plans.append(plan)
+            if journal is not None:
+                journal.record_chunk(k, index, chunk, plans)
+        _absorb_plans(plans, k, stats, candidates)
     return True
 
 
 def _plan_arity_parallel(
-    pool: ProcessPoolExecutor,
+    pool: _PoolManager,
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
     names: Sequence[str],
     survivors_k: Sequence[Tuple[int, ...]],
     k: int,
     stats: GenerationStats,
     candidates: List[Candidate],
     tracker: BudgetTracker,
+    polish_placement: bool,
+    journal: Optional[CheckpointJournal] = None,
 ) -> bool:
     """Fan one arity's placement problems out over the worker pool.
 
@@ -499,30 +616,93 @@ def _plan_arity_parallel(
     order, so candidates/stats come out identical to the serial loop;
     the deadline is re-checked (forced clock read) before every chunk
     is consumed, and on truncation the pending chunks are cancelled.
+
+    Chunks already present in ``journal`` are replayed without ever
+    reaching the pool.  A chunk whose worker dies (killed, segfault —
+    surfacing as :class:`BrokenProcessPool`) is recovered: the pool is
+    rebuilt, the lost chunk and every still-pending chunk are
+    re-dispatched, and on a second death of the same chunk it is solved
+    in-process — so worker loss degrades throughput, never the result.
     """
     tracer = current_tracer()
     groups = [tuple(names[i] for i in subset) for subset in survivors_k]
-    chunks = [groups[i:i + _PLAN_CHUNK] for i in range(0, len(groups), _PLAN_CHUNK)]
-    futures: List[Future] = [pool.submit(_pool_plan_chunk, chunk) for chunk in chunks]
-    for pos, future in enumerate(futures):
+    chunks = _chunked(groups)
+
+    cached: Dict[int, List[Optional[MergingPlan]]] = {}
+    if journal is not None:
+        for index, chunk in enumerate(chunks):
+            plans = journal.get_chunk(k, index, chunk)
+            if plans is not None:
+                cached[index] = plans
+
+    futures: Dict[int, Future] = {}
+
+    def _dispatch(index: int, allow_fault: bool) -> None:
+        crash = False
+        if allow_fault:
+            try:
+                fault_point(f"pool.dispatch.k{k}")
+            except WorkerCrashFault:
+                crash = True  # poison this chunk: its worker will die mid-chunk
+        futures[index] = pool.submit(_pool_plan_chunk, chunks[index], crash)
+
+    def _redispatch_pending(after: int) -> None:
+        for index in sorted(i for i in futures if i > after):
+            futures[index] = pool.submit(_pool_plan_chunk, chunks[index], False)
+
+    def _recover() -> None:
+        stats.worker_recoveries += 1
+        tracer.count_local("pool.worker_recoveries")
+        pool.rebuild()
+
+    for index in range(len(chunks)):
+        if index not in cached:
+            _dispatch(index, allow_fault=True)
+
+    for pos in range(len(chunks)):
         try:
             tracker.checkpoint("candidates.plan", force=True)
         except BudgetExceeded:
-            for pending in futures[pos:]:
-                pending.cancel()
+            for index, pending in futures.items():
+                if index >= pos:
+                    pending.cancel()
             stats.budget_truncated = True
             return False
-        plans, snapshot = future.result()
-        if snapshot is not None:
-            # Plan-outcome counters were accumulated in the worker; the
-            # absorbed snapshots sum to exactly the serial totals.
-            tracer.absorb(snapshot)
-        for group, plan in zip(chunks[pos], plans):
-            if plan is None:
-                stats.infeasible_plans += 1
-                continue
-            stats.survivors_by_k[k] += 1
-            candidates.append(Candidate(arc_names=plan.arc_names, cost=plan.cost, plan=plan))
+        if pos in cached:
+            plans: List[Optional[MergingPlan]] = cached[pos]
+            stats.chunks_replayed += 1
+            for plan in plans:
+                _record_plan_outcome(tracer, k, plan)
+        else:
+            try:
+                plans, snapshot = futures[pos].result()
+            except BrokenProcessPool:
+                _recover()
+                futures[pos] = pool.submit(_pool_plan_chunk, chunks[pos], False)
+                _redispatch_pending(pos)
+                try:
+                    plans, snapshot = futures[pos].result()
+                except BrokenProcessPool:
+                    # twice-lost chunk: solve it here, serially — the
+                    # one path that cannot be killed by a worker.
+                    _recover()
+                    _redispatch_pending(pos)
+                    snapshot = None
+                    plans = []
+                    for group in chunks[pos]:
+                        plan = build_merging_plan(
+                            graph, list(group), library,
+                            polish_placement=polish_placement,
+                        )
+                        _record_plan_outcome(tracer, k, plan)
+                        plans.append(plan)
+            if snapshot is not None:
+                # Plan-outcome counters were accumulated in the worker;
+                # the absorbed snapshots sum to exactly the serial totals.
+                tracer.absorb(snapshot)
+            if journal is not None:
+                journal.record_chunk(k, pos, chunks[pos], plans)
+        _absorb_plans(plans, k, stats, candidates)
     return True
 
 
@@ -535,7 +715,8 @@ def _enumerate_mergings(
     stats: GenerationStats,
     polish_placement: bool = True,
     tracker: Optional[BudgetTracker] = None,
-    pool: Optional[ProcessPoolExecutor] = None,
+    pool: Optional[_PoolManager] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> List[Candidate]:
     """The main loop of Figure 2: increasing K, shrinking active set.
 
@@ -578,12 +759,13 @@ def _enumerate_mergings(
             with tracer.span("candidates.plan", k=k, survivors=len(survivors_k)):
                 if pool is not None:
                     completed = _plan_arity_parallel(
-                        pool, names, survivors_k, k, stats, candidates, tracker
+                        pool, graph, library, names, survivors_k, k, stats,
+                        candidates, tracker, polish_placement, journal=journal,
                     )
                 else:
                     completed = _plan_arity_serial(
                         graph, library, names, survivors_k, k, stats, candidates,
-                        tracker, polish_placement,
+                        tracker, polish_placement, journal=journal,
                     )
             arity_span.set("generated", stats.survivors_by_k[k])
             if not completed:

@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "SynthesisError",
     "ModelError",
+    "InstanceFormatError",
     "LibraryError",
     "AssumptionViolation",
     "InfeasibleError",
@@ -17,6 +18,8 @@ __all__ = [
     "CoveringError",
     "BudgetExceeded",
     "TransientSolverError",
+    "CheckpointError",
+    "CheckpointIncompatibleError",
 ]
 
 
@@ -27,6 +30,22 @@ class SynthesisError(Exception):
 class ModelError(SynthesisError):
     """An input model (constraint graph, ports, arcs) is malformed —
     e.g. an arc length inconsistent with its endpoint positions."""
+
+
+class InstanceFormatError(ModelError):
+    """An on-disk instance or library document is malformed — a missing
+    key, a wrong type, or unparseable JSON.
+
+    ``field`` is the dotted path of the offending field within the
+    document (e.g. ``constraint_graph.arcs[3].bandwidth``), or ``""``
+    when the failure predates field navigation (invalid JSON, wrong
+    top-level type).  The CLI maps this family to exit code 5 with a
+    one-line diagnostic instead of a traceback.
+    """
+
+    def __init__(self, message: str, field: str = "") -> None:
+        super().__init__(message)
+        self.field = field
 
 
 class LibraryError(SynthesisError):
@@ -77,3 +96,22 @@ class TransientSolverError(SynthesisError):
     """A solver stage failed for a reason that may not recur (resource
     hiccup, injected fault).  The runtime supervisor retries these with
     exponential backoff before falling back to the next stage."""
+
+
+class CheckpointError(SynthesisError):
+    """A checkpoint journal cannot be used at all — the file is not a
+    journal (unreadable or corrupted header), or a record being written
+    cannot be serialized.  Distinct from a corrupted *tail*, which is
+    detected, reported and discarded without raising."""
+
+
+class CheckpointIncompatibleError(CheckpointError):
+    """A checkpoint journal belongs to a different instance: its header
+    fingerprint does not match the (graph, library, options) being
+    resumed.  Resuming would silently poison the result, so this is a
+    hard error (CLI exit code 6)."""
+
+    def __init__(self, message: str, expected: str = "", found: str = "") -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.found = found

@@ -24,11 +24,12 @@ from ..covering.ilp import solve_ilp
 from ..covering.matrix import Column, CoverSolution, CoveringProblem
 from ..obs import NULL_TRACER, Tracer, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
-from ..runtime.report import DegradationReport
+from ..runtime.checkpoint import CheckpointJournal, instance_fingerprint
+from ..runtime.report import DegradationReport, ResultQuality, StageAttempt
 from ..runtime.supervisor import Supervisor
 from .candidates import Candidate, CandidateSet, PruningLevel, generate_candidates
 from .constraint_graph import ConstraintGraph
-from .exceptions import SynthesisError
+from .exceptions import CoveringError, SynthesisError
 from .implementation import ImplementationGraph, Path
 from .library import CommunicationLibrary
 from .merging import materialize_merging
@@ -83,6 +84,20 @@ class SynthesisOptions:
     #: incumbent with an honest quality tag (``"degrade"``, default) or
     #: raise :class:`~repro.core.exceptions.BudgetExceeded` (``"fail"``).
     on_budget_exhausted: str = "degrade"
+    #: crash tolerance: path of a checkpoint journal
+    #: (:class:`~repro.runtime.checkpoint.CheckpointJournal`).  Completed
+    #: planning chunks, covering incumbents and the final cover are
+    #: durably recorded as the run progresses, so a killed run loses at
+    #: most one in-flight work unit.  ``None`` (default) = no journal.
+    checkpoint_path: Optional[str] = None
+    #: with ``checkpoint_path``: resume from an existing journal instead
+    #: of starting it fresh.  The journal's instance fingerprint must
+    #: match (graph, library, options) or synthesis raises
+    #: :class:`~repro.core.exceptions.CheckpointIncompatibleError`; a
+    #: corrupted/truncated journal tail is discarded with a report,
+    #: never resumed over.  A resume under a fresh ``budget`` continues
+    #: from the journal — completed work is never re-spent.
+    resume: bool = False
 
 
 @dataclass
@@ -237,6 +252,51 @@ def synthesize(
     return result
 
 
+def _replay_solution(
+    journal: Optional[CheckpointJournal], covering: CoveringProblem
+) -> Optional[CoverSolution]:
+    """The journal's recorded final cover, iff it still solves ``covering``.
+
+    The instance fingerprint already guarantees the same candidate
+    universe; the feasibility re-check means a hand-edited or stale
+    record degrades to a normal solve instead of poisoning the result.
+    """
+    if journal is None or journal.solution is None:
+        return None
+    recorded = journal.solution
+    candidate = CoverSolution(
+        column_names=recorded.column_names,
+        weight=recorded.weight,
+        optimal=recorded.optimal,
+        stats={"replayed": 1},
+    )
+    try:
+        covering.check_solution(candidate)
+    except CoveringError:
+        return None
+    return candidate
+
+
+def _replayed_report(journal: CheckpointJournal, tracker: BudgetTracker) -> DegradationReport:
+    """Audit trail for a supervised run served entirely from the journal."""
+    recorded = journal.solution
+    assert recorded is not None
+    if recorded.quality is not None:
+        quality = ResultQuality(recorded.quality)
+    else:
+        quality = (
+            ResultQuality.OPTIMAL if recorded.optimal else ResultQuality.FEASIBLE_SUBOPTIMAL
+        )
+    stage = recorded.source_stage or "journal"
+    return DegradationReport(
+        quality=quality,
+        source_stage=stage,
+        attempts=[StageAttempt(stage, 1, "replayed", detail="checkpoint journal")],
+        deadline_s=tracker.budget.deadline_s,
+        nodes_used=tracker.nodes_used,
+    )
+
+
 def _synthesize_traced(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
@@ -245,6 +305,31 @@ def _synthesize_traced(
 ) -> SynthesisResult:
     tracer = current_tracer()
     start = time.perf_counter()
+    journal: Optional[CheckpointJournal] = None
+    if options.checkpoint_path is not None:
+        journal = CheckpointJournal.open(
+            options.checkpoint_path,
+            instance_fingerprint(graph, library, options),
+            resume=options.resume,
+        )
+        if journal.tail_report is not None:
+            tracer.count("checkpoint.tail_discarded")
+    try:
+        return _synthesize_journaled(graph, library, options, budget, journal, start)
+    finally:
+        if journal is not None:
+            journal.close()
+
+
+def _synthesize_journaled(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    budget: Union[Budget, BudgetTracker, None],
+    journal: Optional[CheckpointJournal],
+    start: float,
+) -> SynthesisResult:
+    tracer = current_tracer()
     with tracer.span(
         "synthesize", graph=graph.name, arcs=len(graph), solver=options.ucp_solver
     ) as root_span:
@@ -261,6 +346,7 @@ def _synthesize_traced(
             hop_penalty=options.hop_penalty,
             budget=tracker,
             jobs=options.jobs,
+            journal=journal,
         )
         with tracer.span("covering.build"):
             covering = build_covering_problem(graph, candidates)
@@ -268,21 +354,37 @@ def _synthesize_traced(
         tracer.gauge("covering.columns", len(covering.columns))
 
         report: Optional[DegradationReport] = None
+        replayed = _replay_solution(journal, covering)
         with tracer.span("covering.solve", supervised=tracker is not None):
-            if tracker is not None:
+            if replayed is not None:
+                cover = replayed
+                tracer.count("checkpoint.solution_replayed")
+                if tracker is not None:
+                    assert journal is not None
+                    report = _replayed_report(journal, tracker)
+            elif tracker is not None:
                 supervisor = Supervisor(
                     budget=tracker,
                     stages=_fallback_stages(options.ucp_solver),
                     solver_options=options.solver_options,
                     on_budget_exhausted=options.on_budget_exhausted,
+                    journal=journal,
                 )
                 cover, report = supervisor.solve(
                     covering, candidate_set_complete=not candidates.stats.budget_truncated
                 )
             elif options.ucp_solver == "bnb":
-                cover = solve_cover(covering, options.solver_options)
+                cover = solve_cover(covering, options.solver_options, journal=journal)
             else:
-                cover = solve_ilp(covering)
+                cover = solve_ilp(covering, journal=journal)
+        if journal is not None and replayed is None:
+            journal.record_solution(
+                stage=report.source_stage if report is not None else options.ucp_solver,
+                column_names=cover.column_names,
+                weight=cover.weight,
+                optimal=cover.optimal,
+                quality=report.quality.value if report is not None else None,
+            )
 
         by_label = {c.label(): c for c in candidates.all}
         selected = [by_label[name] for name in cover.column_names]
@@ -298,6 +400,8 @@ def _synthesize_traced(
         elapsed = time.perf_counter() - start
         if report is not None:
             report.elapsed_s = elapsed  # account materialization + validation too
+            report.worker_recoveries = candidates.stats.worker_recoveries
+            report.chunks_replayed = candidates.stats.chunks_replayed
         return SynthesisResult(
             implementation=impl,
             selected=selected,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..core.exceptions import BudgetExceeded, CoveringError, InfeasibleError
 from ..obs import current_tracer
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
+from ..runtime.checkpoint import CheckpointJournal
 from .bounds import best_lower_bound
 from .matrix import CoverSolution, CoveringProblem
 from .reductions import ReducedState, reduce_to_fixpoint
@@ -95,6 +96,7 @@ class _Search:
     best_cost: float
     best_selection: Tuple[str, ...]
     tracker: BudgetTracker = field(default_factory=lambda: as_tracker(None))
+    journal: Optional[CheckpointJournal] = None
     nodes: int = 0
     reductions_applied: int = 0
     pruned_incumbent: int = 0
@@ -138,6 +140,10 @@ class _Search:
                 self.best_cost = state.cost
                 self.best_selection = tuple(sorted(state.selected))
                 self.incumbents += 1
+                if self.journal is not None:
+                    # durable before the search moves on: a kill after
+                    # this point resumes from at least this incumbent.
+                    self.journal.record_incumbent("bnb", self.best_selection, self.best_cost)
                 continue
             if state.infeasible:
                 continue
@@ -189,10 +195,32 @@ def _flush_search_counters(tracer, search: "_Search") -> None:
     tracer.count("covering.bnb.incumbents", search.incumbents)
 
 
+def _journal_seed(
+    problem: CoveringProblem, journal: Optional[CheckpointJournal]
+) -> Optional[CoverSolution]:
+    """The journal's best recorded incumbent, iff it solves ``problem``.
+
+    A recorded incumbent from a killed run is only reused when it is a
+    feasible cover of the problem being resumed (the instance
+    fingerprint already guarantees the same candidate universe; this
+    re-checks anyway so a stale record can never poison the search).
+    """
+    if journal is None or journal.best_incumbent is None:
+        return None
+    weight, columns, _stage = journal.best_incumbent
+    candidate = CoverSolution(column_names=columns, weight=weight, optimal=False)
+    try:
+        problem.check_solution(candidate)
+    except CoveringError:
+        return None
+    return candidate
+
+
 def solve_cover(
     problem: CoveringProblem,
     options: Optional[SolverOptions] = None,
     budget: Union[Budget, BudgetTracker, None] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> CoverSolution:
     """Solve the weighted UCP exactly.
 
@@ -203,6 +231,13 @@ def solve_cover(
     feasible incumbent found so far attached as ``.partial`` — the
     greedy seed guarantees one exists — so callers can degrade
     gracefully instead of failing.
+
+    ``journal`` makes the search crash-tolerant: every strict incumbent
+    improvement is durably recorded, and a resumed solve seeds from the
+    best recorded incumbent (when it beats the greedy seed), so work a
+    killed run already proved is never re-spent.  Because incumbents
+    only ever improve *strictly*, a resumed search serves exactly the
+    selection an uninterrupted run would have served.
     """
     options = options or SolverOptions()
     problem.validate_coverable()
@@ -217,12 +252,16 @@ def solve_cover(
     ) as bnb_span:
         tracker.checkpoint("bnb.start")
         incumbent = greedy_cover(problem, budget=tracker, site="bnb.seed")
+        seed = _journal_seed(problem, journal)
+        if seed is not None and seed.weight < incumbent.weight - 1e-12:
+            incumbent = seed
         search = _Search(
             problem=problem,
             options=options,
             best_cost=incumbent.weight,
             best_selection=tuple(sorted(incumbent.column_names)),
             tracker=tracker,
+            journal=journal,
         )
         try:
             search.run(ReducedState.initial(problem))

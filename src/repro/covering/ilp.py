@@ -28,6 +28,7 @@ from scipy import optimize
 from ..core.exceptions import BudgetExceeded, CoveringError
 from ..obs import current_tracer
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
+from ..runtime.checkpoint import CheckpointJournal
 from .matrix import CoverSolution, CoveringProblem
 
 __all__ = ["solve_ilp"]
@@ -58,12 +59,17 @@ def solve_ilp(
     problem: CoveringProblem,
     max_nodes: int = 200_000,
     budget: Union[Budget, BudgetTracker, None] = None,
+    journal: Optional[CheckpointJournal] = None,
 ) -> CoverSolution:
     """Solve the covering instance as a 0-1 ILP; exact.
 
     Raises :class:`CoveringError` on infeasibility.  Node or ``budget``
     (deadline) exhaustion raises :class:`BudgetExceeded` with the best
     integral incumbent found so far (if any) attached as ``.partial``.
+
+    ``journal`` records every strict integral improvement durably and
+    seeds a resumed solve from the best recorded incumbent, mirroring
+    :func:`repro.covering.bnb.solve_cover`.
     """
     problem.validate_coverable()
     tracker = as_tracker(budget)
@@ -88,6 +94,25 @@ def solve_ilp(
 
     best_weight = float("inf")
     best_x: Optional[np.ndarray] = None
+    if journal is not None and journal.best_incumbent is not None:
+        # Seed from the journal of a killed run: strict-improvement
+        # updates below guarantee the served solution matches an
+        # uninterrupted run's despite the warmer start.
+        weight, columns, _stage = journal.best_incumbent
+        index_of = {name: j for j, name in enumerate(names)}
+        if all(c in index_of for c in columns):
+            seeded = np.zeros(n, dtype=int)
+            for c in columns:
+                seeded[index_of[c]] = 1
+            try:
+                problem.check_solution(
+                    CoverSolution(column_names=columns, weight=weight, optimal=False)
+                )
+            except CoveringError:
+                pass  # stale record: ignore, solve cold
+            else:
+                best_weight = float(weight)
+                best_x = seeded
     stack: List[_Node] = [_Node(frozenset(), frozenset())]
     nodes = 0
 
@@ -136,6 +161,12 @@ def solve_ilp(
                     if weight < best_weight:
                         best_weight = weight
                         best_x = xi
+                        if journal is not None:
+                            journal.record_incumbent(
+                                "ilp",
+                                tuple(names[j] for j in range(n) if xi[j] == 1),
+                                weight,
+                            )
                     continue
                 stack.append(_Node(node.fixed_zero | {j}, node.fixed_one))
                 stack.append(_Node(node.fixed_zero, node.fixed_one | {j}))

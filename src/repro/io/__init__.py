@@ -1,5 +1,11 @@
-"""Serialization: JSON round-tripping and Graphviz DOT export."""
+"""Serialization: JSON round-tripping and Graphviz DOT export.
 
+All on-disk writers go through :func:`atomic_write`
+(write-temp-fsync-rename), so a crash mid-write never leaves a
+truncated file where a valid one used to be.
+"""
+
+from .atomic import atomic_write
 from .dot import constraint_graph_to_dot, implementation_to_dot
 from .json_io import (
     constraint_graph_from_dict,
@@ -12,6 +18,7 @@ from .json_io import (
 )
 
 __all__ = [
+    "atomic_write",
     "constraint_graph_to_dict",
     "constraint_graph_from_dict",
     "library_to_dict",

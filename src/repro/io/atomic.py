@@ -1,0 +1,65 @@
+"""Atomic file writes: write-temp, fsync, rename.
+
+Every on-disk artifact this package produces — instance JSON, result
+summaries, Chrome traces, benchmark records, checkpoint journal
+headers — goes through :func:`atomic_write`, so a reader can never
+observe a half-written file: either the old content (or no file) or
+the complete new content, even if the writing process is SIGKILLed
+mid-write.
+
+The temp file is created in the *same directory* as the target (rename
+is only atomic within one filesystem) and fsynced before the rename;
+on POSIX the directory itself is fsynced afterwards so the rename is
+durable across a crash of the whole machine, not just the process.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (best-effort; not supported everywhere)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, Path], data: Union[str, bytes], encoding: str = "utf-8"
+) -> None:
+    """Write ``data`` to ``path`` atomically (temp + fsync + rename).
+
+    ``data`` may be text (encoded with ``encoding``) or bytes.  On any
+    failure the temp file is removed and the target is left untouched.
+    """
+    target = Path(path)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or Path(".")
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(target.parent if target.parent != Path("") else Path("."))

@@ -178,5 +178,8 @@ def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
 
 
 def write_chrome_trace(path: Union[str, Path], tracer: Tracer) -> None:
-    """Serialize :func:`to_chrome_trace` to ``path``."""
-    Path(path).write_text(json.dumps(to_chrome_trace(tracer), indent=1, sort_keys=True))
+    """Serialize :func:`to_chrome_trace` to ``path`` (atomically)."""
+    # Lazy import: repro.io.json_io imports repro.obs for metrics_dict.
+    from ..io.atomic import atomic_write
+
+    atomic_write(path, json.dumps(to_chrome_trace(tracer), indent=1, sort_keys=True))

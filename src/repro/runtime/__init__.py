@@ -8,7 +8,10 @@
 - :mod:`repro.runtime.report` — :class:`ResultQuality` tags and the
   :class:`DegradationReport` audit trail;
 - :mod:`repro.runtime.supervisor` — the anytime fallback chain
-  ``bnb -> ilp -> greedy`` with per-stage timeouts and retry.
+  ``bnb -> ilp -> greedy`` with per-stage timeouts and retry;
+- :mod:`repro.runtime.checkpoint` — the crash-tolerant
+  :class:`CheckpointJournal` (append-only, CRC-checked) that lets a
+  killed run resume with an identical result.
 
 ``Supervisor``/``RetryPolicy`` are loaded lazily: the covering solvers
 import this package for checkpoints, and the supervisor imports the
@@ -18,10 +21,17 @@ covering solvers — deferring one edge keeps the import graph acyclic.
 from __future__ import annotations
 
 from .budget import Budget, BudgetTracker, as_tracker  # noqa: F401
+from .checkpoint import (  # noqa: F401
+    JOURNAL_VERSION,
+    CheckpointJournal,
+    JournalSolution,
+    instance_fingerprint,
+)
 from .faults import (  # noqa: F401
     FAULT_KINDS,
     FaultInjector,
     FaultSpec,
+    WorkerCrashFault,
     active_injector,
     fault_point,
 )
@@ -31,9 +41,14 @@ __all__ = [
     "Budget",
     "BudgetTracker",
     "as_tracker",
+    "JOURNAL_VERSION",
+    "CheckpointJournal",
+    "JournalSolution",
+    "instance_fingerprint",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultSpec",
+    "WorkerCrashFault",
     "active_injector",
     "fault_point",
     "DegradationReport",

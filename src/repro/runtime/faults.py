@@ -33,6 +33,7 @@ __all__ = [
     "FAULT_KINDS",
     "FaultSpec",
     "FaultInjector",
+    "WorkerCrashFault",
     "fault_point",
     "active_injector",
 ]
@@ -40,8 +41,20 @@ __all__ = [
 #: supported synthetic failure kinds:
 #: ``timeout`` — raises :class:`BudgetExceeded` (reason ``injected-timeout``);
 #: ``node_budget`` — raises :class:`BudgetExceeded` (reason ``injected-node-budget``);
-#: ``error`` — raises :class:`TransientSolverError` (retryable).
-FAULT_KINDS = ("timeout", "node_budget", "error")
+#: ``error`` — raises :class:`TransientSolverError` (retryable);
+#: ``worker_crash`` — raises :class:`WorkerCrashFault` at a pool
+#: *dispatch* site (``"pool.dispatch.k2"``, ...): the dispatcher marks
+#: the chunk so the worker process that picks it up dies abruptly
+#: (``os._exit``) mid-chunk, exercising the pool-recovery path exactly
+#: as a segfault or OOM kill would.
+FAULT_KINDS = ("timeout", "node_budget", "error", "worker_crash")
+
+
+class WorkerCrashFault(Exception):
+    """Fired by a ``worker_crash`` :class:`FaultSpec` at a pool dispatch
+    site.  Deliberately *not* a :class:`~repro.core.exceptions.SynthesisError`:
+    only the pool dispatcher catches it (to poison the outgoing chunk);
+    anywhere else it is a loud test-harness bug."""
 
 
 @dataclass(frozen=True)
@@ -84,6 +97,8 @@ class FaultSpec:
             return BudgetExceeded(msg, reason="injected-timeout")
         if self.kind == "node_budget":
             return BudgetExceeded(msg, reason="injected-node-budget")
+        if self.kind == "worker_crash":
+            return WorkerCrashFault(msg)
         return TransientSolverError(msg)
 
 

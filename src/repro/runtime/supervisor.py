@@ -38,6 +38,7 @@ from ..covering.ilp import solve_ilp
 from ..covering.matrix import CoverSolution, CoveringProblem
 from ..obs import current_tracer
 from .budget import Budget, BudgetTracker, as_tracker
+from .checkpoint import CheckpointJournal
 from .faults import fault_point
 from .report import DegradationReport, ResultQuality, StageAttempt
 
@@ -77,6 +78,7 @@ class Supervisor:
         stage_share: float = 0.5,
         on_budget_exhausted: str = "degrade",
         sleep: Callable[[float], None] = time.sleep,
+        journal: Optional[CheckpointJournal] = None,
     ) -> None:
         unknown = [s for s in stages if s not in DEFAULT_STAGES]
         if unknown:
@@ -94,15 +96,21 @@ class Supervisor:
         self.stage_share = stage_share
         self.on_budget_exhausted = on_budget_exhausted
         self._sleep = sleep
+        #: checkpoint journal threaded into the exact stages: incumbents
+        #: they prove are durably recorded, and a resumed chain seeds
+        #: from the best record instead of starting cold.
+        self.journal = journal
 
     # ------------------------------------------------------------------
     def _run_stage(
         self, stage: str, problem: CoveringProblem, tracker: BudgetTracker
     ) -> CoverSolution:
         if stage == "bnb":
-            return solve_cover(problem, self.solver_options, budget=tracker)
+            return solve_cover(
+                problem, self.solver_options, budget=tracker, journal=self.journal
+            )
         if stage == "ilp":
-            return solve_ilp(problem, budget=tracker)
+            return solve_ilp(problem, budget=tracker, journal=self.journal)
         return greedy_cover(problem, budget=tracker)
 
     # ------------------------------------------------------------------

@@ -54,14 +54,16 @@ class TestVisualizeDegenerate:
 class TestIoErrorPaths:
     def test_unknown_norm_rejected(self):
         from repro.io import constraint_graph_from_dict
+        from repro.core.exceptions import InstanceFormatError
 
-        with pytest.raises(KeyError, match="unknown norm"):
+        with pytest.raises(InstanceFormatError, match="unknown norm"):
             constraint_graph_from_dict({"name": "x", "norm": "hyperbolic", "ports": [], "arcs": []})
 
     def test_unknown_node_kind_rejected(self):
         from repro.io import library_from_dict
+        from repro.core.exceptions import InstanceFormatError
 
-        with pytest.raises(ValueError):
+        with pytest.raises(InstanceFormatError, match="unknown node kind"):
             library_from_dict({
                 "name": "x",
                 "links": [{"name": "l", "bandwidth": 1.0, "max_length": 1.0,

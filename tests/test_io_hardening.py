@@ -1,0 +1,197 @@
+"""Malformed-instance hardening: structured errors, never tracebacks.
+
+Every way an on-disk instance can be malformed — invalid JSON, missing
+keys, wrong types, out-of-vocabulary enum values — must surface as
+:class:`InstanceFormatError` naming the offending field path, and the
+CLI must turn it into exit code 5 with a one-line diagnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import InstanceFormatError, ModelError, SynthesisError
+from repro.cli import EXIT_BAD_INSTANCE
+from repro.domains import wan_example
+from repro.io import load_instance, save_instance
+from repro.io.json_io import constraint_graph_from_dict, library_from_dict
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def instance_doc():
+    graph, library = wan_example()
+    from repro.io import constraint_graph_to_dict, library_to_dict
+
+    return {
+        "constraint_graph": constraint_graph_to_dict(graph),
+        "library": library_to_dict(library),
+    }
+
+
+def _load_doc(tmp_path, doc):
+    path = tmp_path / "inst.json"
+    path.write_text(json.dumps(doc))
+    return load_instance(path)
+
+
+def test_exception_hierarchy():
+    assert issubclass(InstanceFormatError, ModelError)
+    assert issubclass(InstanceFormatError, SynthesisError)
+
+
+def test_valid_instance_round_trips(tmp_path, instance_doc):
+    graph, library = _load_doc(tmp_path, instance_doc)
+    assert len(graph) == 8
+    assert library.links
+
+
+def test_invalid_json(tmp_path):
+    path = tmp_path / "inst.json"
+    path.write_text("{not json")
+    with pytest.raises(InstanceFormatError, match="invalid JSON"):
+        load_instance(path)
+
+
+def test_binary_file(tmp_path):
+    path = tmp_path / "inst.json"
+    path.write_bytes(bytes(range(256)))
+    with pytest.raises(InstanceFormatError):
+        load_instance(path)
+
+
+def test_top_level_not_an_object(tmp_path):
+    path = tmp_path / "inst.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(InstanceFormatError, match="expected a JSON object"):
+        load_instance(path)
+
+
+@pytest.mark.parametrize("key", ["constraint_graph", "library"])
+def test_missing_top_level_section(tmp_path, instance_doc, key):
+    del instance_doc[key]
+    with pytest.raises(InstanceFormatError, match=key) as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == key
+
+
+def test_missing_arc_field_names_path(tmp_path, instance_doc):
+    del instance_doc["constraint_graph"]["arcs"][3]["bandwidth"]
+    with pytest.raises(InstanceFormatError) as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "constraint_graph.arcs[3].bandwidth"
+
+
+def test_wrong_type_names_path(tmp_path, instance_doc):
+    instance_doc["constraint_graph"]["ports"][0]["x"] = "not-a-number"
+    with pytest.raises(InstanceFormatError) as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "constraint_graph.ports[0].x"
+
+
+def test_bool_is_not_a_number(tmp_path, instance_doc):
+    instance_doc["library"]["links"][0]["bandwidth"] = True
+    with pytest.raises(InstanceFormatError) as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "library.links[0].bandwidth"
+
+
+def test_unknown_norm(tmp_path, instance_doc):
+    instance_doc["constraint_graph"]["norm"] = "taxicab-deluxe"
+    with pytest.raises(InstanceFormatError, match="unknown norm") as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "constraint_graph.norm"
+
+
+def test_unknown_node_kind(tmp_path, instance_doc):
+    instance_doc["library"]["nodes"][0]["kind"] = "quantum-router"
+    with pytest.raises(InstanceFormatError, match="unknown node kind") as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "library.nodes[0].kind"
+
+
+def test_arcs_not_an_array(tmp_path, instance_doc):
+    instance_doc["constraint_graph"]["arcs"] = {"a": 1}
+    with pytest.raises(InstanceFormatError, match="expected a JSON array") as excinfo:
+        _load_doc(tmp_path, instance_doc)
+    assert excinfo.value.field == "constraint_graph.arcs"
+
+
+def test_standalone_from_dict_paths_have_no_prefix():
+    with pytest.raises(InstanceFormatError) as excinfo:
+        constraint_graph_from_dict({"norm": "euclidean", "ports": [{}], "arcs": []})
+    assert excinfo.value.field == "ports[0].name"
+    with pytest.raises(InstanceFormatError) as excinfo:
+        library_from_dict({"links": [], "nodes": "zzz"})
+    assert excinfo.value.field == "nodes"
+
+
+def test_inf_max_length_still_accepted(tmp_path, instance_doc):
+    instance_doc["library"]["links"][0]["max_length"] = "inf"
+    graph, library = _load_doc(tmp_path, instance_doc)
+    import math
+
+    assert any(math.isinf(l.max_length) for l in library.links)
+
+
+def test_save_instance_is_atomic(tmp_path):
+    """save_instance must never leave a partial file: the write goes to
+    a temp file that is renamed into place."""
+    graph, library = wan_example()
+    target = tmp_path / "inst.json"
+    target.write_text("precious old content")
+    save_instance(target, graph, library)
+    loaded = json.loads(target.read_text())
+    assert "constraint_graph" in loaded
+    assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+
+# ----------------------------------------------------------------------
+# CLI: exit 5, one-line diagnostic, no traceback
+# ----------------------------------------------------------------------
+
+
+def _cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        "{not json",
+        "[]",
+        '{"constraint_graph": {}, "library": {}}',
+        '{"constraint_graph": {"norm": "euclidean", "ports": [], '
+        '"arcs": [{"name": "a"}]}, "library": {"links": [], "nodes": []}}',
+    ],
+    ids=["bad-json", "wrong-top-type", "empty-sections", "missing-arc-fields"],
+)
+def test_cli_exits_5_with_diagnostic(tmp_path, content):
+    path = tmp_path / "fuzz.json"
+    path.write_text(content)
+    proc = _cli("synthesize", str(path))
+    assert proc.returncode == EXIT_BAD_INSTANCE, proc.stderr
+    assert proc.stderr.startswith("error: invalid instance:")
+    assert "Traceback" not in proc.stderr
+    assert len(proc.stderr.strip().splitlines()) == 1
+
+
+def test_cli_missing_file_has_no_traceback(tmp_path):
+    proc = _cli("synthesize", str(tmp_path / "nope.json"))
+    assert proc.returncode == 1
+    assert "Traceback" not in proc.stderr
