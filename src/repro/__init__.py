@@ -78,6 +78,17 @@ from .core import (  # noqa: F401
     point_to_point_cost,
     synthesize,
     validate,
+    CacheStats,
+    PersistentCache,
+    current_persistent_cache,
+    library_fingerprint,
+    persistent_cache,
+)
+from .batch import (  # noqa: F401
+    BatchSummary,
+    InstanceRef,
+    discover_corpus,
+    run_batch,
 )
 from .covering import (  # noqa: F401
     Column,

@@ -1,0 +1,31 @@
+"""Multi-instance batch synthesis (``repro.batch``).
+
+The single-instance pipeline (:func:`repro.core.synthesize`) is exact
+but single-tenant: one constraint graph per process, every derived
+result recomputed from scratch.  This package is the corpus-scale
+layer over it — discover a corpus (:mod:`repro.batch.corpus`), shard
+it across a self-healing process pool, solve every instance under the
+existing Budget/supervisor machinery, stream CRC-tagged JSON-lines
+records for crash-tolerant resume, and amortize the dominant
+recomputation across instances through the persistent cross-run cache
+(:mod:`repro.core.cache`).
+
+Surfaced on the command line as ``python -m repro batch``.
+"""
+
+from .corpus import InstanceRef, discover_corpus
+from .runner import (
+    VOLATILE_RESULT_KEYS,
+    BatchSummary,
+    run_batch,
+    stable_result_dict,
+)
+
+__all__ = [
+    "InstanceRef",
+    "discover_corpus",
+    "BatchSummary",
+    "run_batch",
+    "stable_result_dict",
+    "VOLATILE_RESULT_KEYS",
+]

@@ -1,0 +1,105 @@
+"""Corpus discovery for batch synthesis (``repro.batch``).
+
+A *corpus* is an ordered list of instance files.  Three input shapes
+are accepted, disambiguated by inspection rather than flags:
+
+- a **directory** — every ``*.json`` file inside, sorted by name
+  (deterministic shard order across machines);
+- a **manifest** — a JSON file whose top level is a list, each entry a
+  path string or a ``{"name": ..., "path": ...}`` object; relative
+  paths resolve against the manifest's own directory;
+- a **single instance** — a JSON file with the ``constraint_graph`` /
+  ``library`` keys :func:`repro.io.save_instance` writes (a one-element
+  corpus, convenient for smoke tests).
+
+Malformed inputs raise :class:`~repro.core.exceptions.InstanceFormatError`
+naming the offending entry — never a raw ``KeyError`` or ``OSError``
+from deep inside the walk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Union
+
+from ..core.exceptions import InstanceFormatError
+
+__all__ = ["InstanceRef", "discover_corpus"]
+
+
+@dataclass(frozen=True)
+class InstanceRef:
+    """One corpus member: a display name plus the instance file path."""
+
+    name: str
+    path: Path
+
+
+def _uniquify(refs: List[InstanceRef]) -> List[InstanceRef]:
+    """Make display names unique (``x``, ``x-2``, ``x-3``, ...) so the
+    result stream and summaries key cleanly on names."""
+    seen: dict = {}
+    out: List[InstanceRef] = []
+    for ref in refs:
+        count = seen.get(ref.name, 0) + 1
+        seen[ref.name] = count
+        out.append(ref if count == 1 else InstanceRef(f"{ref.name}-{count}", ref.path))
+    return out
+
+
+def _from_manifest(path: Path, entries: list) -> List[InstanceRef]:
+    refs: List[InstanceRef] = []
+    base = path.parent
+    for i, entry in enumerate(entries):
+        where = f"{path}[{i}]"
+        if isinstance(entry, str):
+            name, target = Path(entry).stem, entry
+        elif isinstance(entry, dict):
+            target = entry.get("path")
+            if not isinstance(target, str):
+                raise InstanceFormatError(f"{where}: manifest entry needs a 'path' string")
+            name = entry.get("name") or Path(target).stem
+        else:
+            raise InstanceFormatError(
+                f"{where}: manifest entries are path strings or "
+                f"{{'name', 'path'}} objects, got {type(entry).__name__}"
+            )
+        resolved = (base / target).resolve() if not Path(target).is_absolute() else Path(target)
+        if not resolved.is_file():
+            raise InstanceFormatError(f"{where}: no such instance file: {resolved}")
+        refs.append(InstanceRef(str(name), resolved))
+    return refs
+
+
+def discover_corpus(path: Union[str, Path]) -> List[InstanceRef]:
+    """Resolve ``path`` (directory / manifest / single instance) into an
+    ordered, uniquely-named list of :class:`InstanceRef`.
+
+    An empty corpus is an error — a batch over nothing is always a
+    mistake worth failing loudly on.
+    """
+    root = Path(path).expanduser()
+    if root.is_dir():
+        refs = [InstanceRef(p.stem, p) for p in sorted(root.glob("*.json"))]
+        if not refs:
+            raise InstanceFormatError(f"{root}: directory contains no *.json instances")
+        return _uniquify(refs)
+    if not root.is_file():
+        raise InstanceFormatError(f"{root}: no such file or directory")
+    try:
+        doc = json.loads(root.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise InstanceFormatError(f"{root}: invalid JSON: {exc}") from exc
+    if isinstance(doc, list):
+        refs = _from_manifest(root, doc)
+        if not refs:
+            raise InstanceFormatError(f"{root}: manifest lists no instances")
+        return _uniquify(refs)
+    if isinstance(doc, dict) and "constraint_graph" in doc:
+        return [InstanceRef(root.stem, root)]
+    raise InstanceFormatError(
+        f"{root}: neither an instance file (missing 'constraint_graph') "
+        "nor a manifest (top level is not a list)"
+    )

@@ -1,0 +1,454 @@
+"""Multi-instance batch orchestration (``repro.batch.runner``).
+
+Shards a corpus of instances across a self-healing process pool, one
+:func:`repro.core.synthesize` run per instance, and streams one
+JSON-lines record per finished instance to a results file.  The moving
+parts are deliberately the ones the single-instance path already
+trusts:
+
+- **per-instance solves** reuse ``SynthesisOptions`` + ``Budget``
+  (``deadline_per_instance`` puts each solve under the supervised
+  anytime chain, so a slow instance degrades instead of stalling the
+  batch);
+- **worker loss** is handled the way candidate generation handles it
+  (:mod:`repro.core.candidates`): a dead worker breaks the pool, the
+  pool is rebuilt, lost instances are re-dispatched, and an instance
+  whose worker dies twice is solved in-process;
+- **crash tolerance** comes from the results stream itself: every
+  record is CRC-tagged, so ``resume=True`` reloads the stream, skips
+  instances already solved (matched by a content fingerprint over the
+  instance file bytes plus the result-shaping options), and re-runs
+  only the rest — a killed batch never re-solves finished instances;
+- **cross-run caching**: with ``cache_dir`` set, every solve runs under
+  a shared :class:`~repro.core.cache.PersistentCache` (each pool worker
+  opens its own handle on the same directory), so corpus sweeps over
+  one library skip the dominant p2p/merging recomputation.
+
+Records are appended in corpus order (futures are consumed in
+submission order), so two runs over the same corpus produce
+line-comparable streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+
+from ..core.cache import (
+    PersistentCache,
+    current_persistent_cache,
+    persistent_cache,
+    set_persistent_cache,
+)
+from ..core.synthesis import SynthesisOptions, synthesize
+from ..obs import current_tracer
+from ..runtime.budget import Budget
+from .corpus import InstanceRef
+
+__all__ = [
+    "BatchSummary",
+    "run_batch",
+    "stable_result_dict",
+    "VOLATILE_RESULT_KEYS",
+]
+
+#: keys of :func:`repro.io.synthesis_result_to_dict` that vary between
+#: byte-identical solves (wall clock, runtime audit trail, trace
+#: metrics) — stripped for cross-run result comparison.
+VOLATILE_RESULT_KEYS = ("elapsed_seconds", "degradation", "metrics")
+
+
+def _canonical(doc: Any) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(doc: Any) -> str:
+    import zlib
+
+    return format(zlib.crc32(_canonical(doc).encode("utf-8")), "08x")
+
+
+def stable_result_dict(result) -> Dict[str, Any]:
+    """The run-invariant part of a synthesis result summary.
+
+    Two solves of the same instance under the same options produce
+    equal stable dicts — the batch acceptance check and the resume
+    logic both compare these.
+    """
+    from ..io.json_io import synthesis_result_to_dict
+
+    doc = synthesis_result_to_dict(result)
+    for key in VOLATILE_RESULT_KEYS:
+        doc.pop(key, None)
+    return doc
+
+
+def _options_digest(options: SynthesisOptions, deadline: Optional[float]) -> Dict[str, Any]:
+    """The result-shaping option surface (jobs/checkpointing excluded —
+    they change how a result is computed, never what it is)."""
+    return {
+        "pruning": options.pruning.value,
+        "max_arity": options.max_arity,
+        "drop_dominated": options.drop_dominated,
+        "heterogeneous": options.heterogeneous,
+        "max_merge_hops": options.max_merge_hops,
+        "polish_placement": options.polish_placement,
+        "hop_penalty": options.hop_penalty,
+        "ucp_solver": options.ucp_solver,
+        "deadline_per_instance": deadline,
+    }
+
+
+def _instance_sha(path: Path, options: SynthesisOptions, deadline: Optional[float]) -> str:
+    """Fingerprint of (instance file bytes, result-shaping options).
+
+    Editing the instance or changing the options changes the digest, so
+    a resumed batch re-solves exactly the instances whose answer could
+    differ.
+    """
+    digest = hashlib.sha256(path.read_bytes())
+    digest.update(_canonical(_options_digest(options, deadline)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the per-instance unit of work
+# ----------------------------------------------------------------------
+
+
+def _solve_one(
+    name: str,
+    path_str: str,
+    options: SynthesisOptions,
+    deadline: Optional[float],
+    sha: str,
+) -> Dict[str, Any]:
+    """Solve one instance; always returns a record, never raises.
+
+    Runs under whatever persistent cache is ambient (the pool
+    initializer installs the worker's handle; the serial path installs
+    the parent's), reporting this solve's cache-counter delta in the
+    record.  A failure of any kind — malformed file, infeasible
+    instance, validation error — becomes a ``"failed"`` record so one
+    bad corpus member can never abort the batch.
+    """
+    from ..io.json_io import load_instance
+
+    store = current_persistent_cache()
+    before = store.stats.copy() if store is not None else None
+    started = time.perf_counter()
+    record: Dict[str, Any] = {"name": name, "path": path_str, "sha": sha}
+    try:
+        graph, library = load_instance(path_str)
+        budget = Budget(deadline_s=deadline) if deadline is not None else None
+        result = synthesize(graph, library, options, budget=budget)
+        quality = result.degradation.quality.value if result.degradation else "optimal"
+        record.update(
+            status="ok" if quality == "optimal" else "degraded",
+            quality=quality,
+            cost=result.total_cost,
+            result=stable_result_dict(result),
+        )
+    except Exception as exc:  # noqa: BLE001 - the record *is* the error channel
+        record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
+    record["elapsed_s"] = time.perf_counter() - started
+    if store is not None:
+        record["cache"] = store.stats.delta(before).to_dict()
+    return record
+
+
+#: worker-side state: the pool initializer opens one cache handle per
+#: worker process (the store is multi-process safe, handles are not).
+def _batch_init(cache_dir: Optional[str]) -> None:
+    set_persistent_cache(PersistentCache(cache_dir) if cache_dir else None)
+
+
+# ----------------------------------------------------------------------
+# results stream
+# ----------------------------------------------------------------------
+
+
+def _load_completed(results_path: Path) -> Dict[str, Dict[str, Any]]:
+    """Reload a (possibly torn) results stream for resume.
+
+    Returns the last successful record per instance fingerprint.
+    Records failing CRC or JSON parse — a crash mid-append — are
+    skipped, not fatal: like the persistent cache (and unlike the
+    checkpoint journal), records are independent facts.
+    """
+    done: Dict[str, Dict[str, Any]] = {}
+    if not results_path.exists():
+        return done
+    for raw in results_path.read_bytes().splitlines():
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            continue
+        if not isinstance(record, dict) or "crc" not in record:
+            continue
+        crc = record.pop("crc")
+        if _crc(record) != crc:
+            continue
+        if record.get("status") in ("ok", "degraded") and record.get("sha"):
+            done[record["sha"]] = record
+    return done
+
+
+def _open_results(results_path: Path, resume: bool) -> TextIO:
+    """Open the stream for append, healing a torn final line first."""
+    results_path.parent.mkdir(parents=True, exist_ok=True)
+    if resume and results_path.exists():
+        raw = results_path.read_bytes()
+        if raw and not raw.endswith(b"\n"):
+            with open(results_path, "ab") as f:
+                f.write(b"\n")
+        return open(results_path, "a")
+    return open(results_path, "w")
+
+
+def _emit(stream: TextIO, record: Dict[str, Any]) -> None:
+    stream.write(_canonical(dict(record, crc=_crc(record))) + "\n")
+    stream.flush()
+
+
+# ----------------------------------------------------------------------
+# the batch itself
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchSummary:
+    """Aggregate outcome of one :func:`run_batch` call."""
+
+    total: int = 0
+    completed: int = 0
+    degraded: int = 0
+    failed: int = 0
+    #: instances reused from a previous run's results stream (resume).
+    skipped: int = 0
+    #: instances whose pool worker died and were transparently recovered.
+    worker_recoveries: int = 0
+    elapsed_s: float = 0.0
+    #: summed per-instance cache-counter deltas (zeros when uncached).
+    cache: Dict[str, int] = field(default_factory=dict)
+    #: every instance's record, in corpus order (reused ones included).
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no instance failed (degraded still counts as served)."""
+        return self.failed == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary (records carry the full per-instance data)."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "worker_recoveries": self.worker_recoveries,
+            "elapsed_s": self.elapsed_s,
+            "cache": dict(self.cache),
+            "instances": [
+                {k: r.get(k) for k in ("name", "status", "quality", "cost", "elapsed_s", "error")}
+                for r in self.records
+            ],
+        }
+
+
+def _absorb(summary: BatchSummary, record: Dict[str, Any], reused: bool) -> None:
+    tracer = current_tracer()
+    summary.records.append(record)
+    if reused:
+        summary.skipped += 1
+        tracer.count_local("batch.instances.skipped")
+    elif record["status"] == "failed":
+        summary.failed += 1
+        tracer.count_local("batch.instances.failed")
+    else:
+        summary.completed += 1
+        tracer.count_local("batch.instances.completed")
+        if record["status"] == "degraded":
+            summary.degraded += 1
+            tracer.count_local("batch.instances.degraded")
+    for key, value in (record.get("cache") or {}).items():
+        summary.cache[key] = summary.cache.get(key, 0) + value
+
+
+def run_batch(
+    corpus: Sequence[InstanceRef],
+    *,
+    options: Optional[SynthesisOptions] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    deadline_per_instance: Optional[float] = None,
+    results_path: Union[str, Path] = "batch_results.jsonl",
+    resume: bool = False,
+    progress: Optional[TextIO] = None,
+) -> BatchSummary:
+    """Synthesize every corpus instance; returns the aggregate summary.
+
+    ``jobs`` shards instances over that many worker processes
+    (``None``/``1`` = in-process, deterministic and debuggable);
+    records land in ``results_path`` in corpus order either way.
+    ``resume=True`` skips instances already recorded as solved in an
+    existing results stream (same file bytes, same options).
+    ``progress`` (e.g. ``sys.stderr``) gets a one-liner per instance.
+
+    The call itself never raises for a *failing instance* — failures
+    are records and ``summary.ok`` is False.  It does raise for batch-
+    level misuse (``jobs < 1``, unreadable results path).
+    """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count, got {jobs}")
+    options = options if options is not None else SynthesisOptions()
+    results_path = Path(results_path)
+    cache_str = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
+    tracer = current_tracer()
+
+    summary = BatchSummary(total=len(corpus))
+    started = time.perf_counter()
+    shas = [_instance_sha(ref.path, options, deadline_per_instance) for ref in corpus]
+    done = _load_completed(results_path) if resume else {}
+
+    parent_store = PersistentCache(cache_str) if cache_str else None
+    stream = _open_results(results_path, resume)
+    try:
+        with persistent_cache(parent_store):
+            with tracer.span("batch.run", instances=len(corpus), jobs=jobs or 1):
+                if jobs is None or jobs == 1:
+                    _run_serial(corpus, shas, done, options, deadline_per_instance,
+                                summary, stream, progress)
+                else:
+                    _run_pooled(corpus, shas, done, options, deadline_per_instance,
+                                jobs, cache_str, summary, stream, progress)
+    finally:
+        stream.close()
+        if parent_store is not None:
+            parent_store.close()
+    summary.elapsed_s = time.perf_counter() - started
+    for key, value in summary.cache.items():
+        tracer.count_local(f"batch.cache.{key}", value)
+    return summary
+
+
+def _report(progress: Optional[TextIO], record: Dict[str, Any], reused: bool) -> None:
+    if progress is None:
+        return
+    if reused:
+        print(f"  [skip] {record['name']}: already solved "
+              f"(cost {record.get('cost', float('nan')):,.4g})", file=progress)
+    elif record["status"] == "failed":
+        print(f"  [FAIL] {record['name']}: {record['error']}", file=progress)
+    else:
+        tag = "ok" if record["status"] == "ok" else record["quality"]
+        print(f"  [{tag}] {record['name']}: cost {record['cost']:,.4g} "
+              f"({record['elapsed_s']:.2f}s)", file=progress)
+
+
+def _run_serial(
+    corpus: Sequence[InstanceRef],
+    shas: Sequence[str],
+    done: Dict[str, Dict[str, Any]],
+    options: SynthesisOptions,
+    deadline: Optional[float],
+    summary: BatchSummary,
+    stream: TextIO,
+    progress: Optional[TextIO],
+) -> None:
+    for ref, sha in zip(corpus, shas):
+        reused = sha in done
+        record = done[sha] if reused else _solve_one(
+            ref.name, str(ref.path), options, deadline, sha
+        )
+        if not reused:
+            _emit(stream, record)
+        _absorb(summary, record, reused)
+        _report(progress, record, reused)
+
+
+def _run_pooled(
+    corpus: Sequence[InstanceRef],
+    shas: Sequence[str],
+    done: Dict[str, Dict[str, Any]],
+    options: SynthesisOptions,
+    deadline: Optional[float],
+    jobs: int,
+    cache_str: Optional[str],
+    summary: BatchSummary,
+    stream: TextIO,
+    progress: Optional[TextIO],
+) -> None:
+    """Fan instances out, consume in corpus order, survive worker loss.
+
+    Mirrors the recovery ladder of
+    :func:`repro.core.candidates._plan_arity_parallel`: a
+    ``BrokenProcessPool`` rebuilds the executor and re-dispatches the
+    lost instance plus everything still pending; a second loss of the
+    same instance solves it in-process under the parent's cache handle.
+    """
+    tracer = current_tracer()
+    pool: Optional[ProcessPoolExecutor] = None
+    futures: Dict[int, Future] = {}
+
+    def _ensure_pool() -> ProcessPoolExecutor:
+        nonlocal pool
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=jobs, initializer=_batch_init, initargs=(cache_str,)
+            )
+        return pool
+
+    def _dispatch(i: int) -> None:
+        ref = corpus[i]
+        futures[i] = _ensure_pool().submit(
+            _solve_one, ref.name, str(ref.path), options, deadline, shas[i]
+        )
+
+    def _recover(after: int) -> None:
+        nonlocal pool
+        summary.worker_recoveries += 1
+        tracer.count_local("batch.worker_recoveries")
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        for i in sorted(j for j in futures if j > after):
+            _dispatch(i)
+
+    try:
+        for i, sha in enumerate(shas):
+            if sha not in done:
+                _dispatch(i)
+        for i, (ref, sha) in enumerate(zip(corpus, shas)):
+            reused = sha in done
+            if reused:
+                record = done[sha]
+            else:
+                try:
+                    record = futures[i].result()
+                except BrokenProcessPool:
+                    _recover(i)
+                    _dispatch(i)
+                    try:
+                        record = futures[i].result()
+                    except BrokenProcessPool:
+                        # twice-lost instance: the one path a worker
+                        # cannot kill — solve it right here.
+                        _recover(i)
+                        record = _solve_one(
+                            ref.name, str(ref.path), options, deadline, sha
+                        )
+                _emit(stream, record)
+            _absorb(summary, record, reused)
+            _report(progress, record, reused)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(missing file = fresh start; a journal from a different "
         "instance exits 6; a corrupted tail is discarded with a notice)",
     )
+    syn.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent cross-run cache directory: derived results "
+        "(point-to-point plans, merging placements) are reused across "
+        "runs over the same library (see repro.core.cache)",
+    )
     syn.add_argument("--out", help="write a JSON result summary here")
     syn.add_argument("--svg", help="write an SVG drawing of the architecture here")
     syn.add_argument("--dot", help="write a Graphviz DOT export here")
@@ -186,6 +193,56 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace-event JSON of the run here")
     demo.add_argument("--trace-summary", action="store_true",
                       help="print a text summary of pipeline spans/counters")
+
+    bat = sub.add_parser(
+        "batch",
+        help="synthesize a corpus of instances (directory, manifest, or "
+        "single file) with a shared persistent cache and a resumable "
+        "JSON-lines result stream",
+        epilog=_EXIT_CODES_EPILOG,
+    )
+    bat.add_argument(
+        "corpus",
+        help="directory of instance JSONs, a JSON manifest listing paths, "
+        "or a single instance file",
+    )
+    bat.add_argument(
+        "--jobs", type=_positive_jobs, default=None, metavar="N",
+        help="worker processes, one instance each (default: in-process serial)",
+    )
+    bat.add_argument(
+        "--cache", metavar="DIR",
+        help="shared persistent cache directory; repeated batches over "
+        "the same library skip recomputation (see repro.core.cache)",
+    )
+    bat.add_argument(
+        "--deadline-per-instance", type=_nonnegative_seconds, default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per instance; slow instances degrade "
+        "(anytime fallback) instead of stalling the batch",
+    )
+    bat.add_argument(
+        "--results", metavar="FILE", default="batch_results.jsonl",
+        help="JSON-lines result stream, one CRC-tagged record per "
+        "instance (default: %(default)s)",
+    )
+    bat.add_argument(
+        "--resume", action="store_true",
+        help="skip instances already solved in an existing --results "
+        "stream (same file bytes, same options); a killed batch "
+        "restarted with --resume never re-solves finished instances",
+    )
+    bat.add_argument("--summary", metavar="FILE",
+                     help="write the aggregate JSON summary here")
+    bat.add_argument("--max-arity", type=int, default=None, help="cap merge size K")
+    bat.add_argument(
+        "--pruning",
+        choices=[l.value for l in PruningLevel],
+        default=PruningLevel.LEMMAS.value,
+    )
+    bat.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
+    bat.add_argument("--quiet", action="store_true",
+                     help="suppress per-instance progress and the summary table")
 
     sub.add_parser("tables", help="print the paper's Tables 1 and 2 (WAN Γ and Δ)")
 
@@ -288,7 +345,17 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         _report_checkpoint_tail(args, graph, library, options)
     budget = Budget(deadline_s=args.deadline) if args.deadline is not None else None
     trace = bool(args.trace or args.trace_summary)
-    result = synthesize(graph, library, options, budget=budget, trace=trace)
+    if args.cache:
+        from .core.cache import PersistentCache, persistent_cache
+
+        with persistent_cache(PersistentCache(args.cache)) as store:
+            result = synthesize(graph, library, options, budget=budget, trace=trace)
+        if not args.quiet:
+            stats = store.stats
+            print(f"cache: {stats.hits} hits, {stats.misses} misses, "
+                  f"{stats.writes} writes ({args.cache})")
+    else:
+        result = synthesize(graph, library, options, budget=budget, trace=trace)
     if not args.quiet:
         print(synthesis_report(result, title=f"Synthesis of {args.instance}"))
         if result.degradation is not None:
@@ -336,6 +403,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(synthesis_report(result, title=f"Demo: {args.name}"))
     _emit_trace(args, result)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .batch import discover_corpus, run_batch
+
+    corpus = discover_corpus(args.corpus)
+    options = SynthesisOptions(
+        pruning=PruningLevel(args.pruning),
+        max_arity=args.max_arity,
+        ucp_solver=args.solver,
+        on_budget_exhausted="degrade",
+    )
+    if not args.quiet:
+        print(f"batch: {len(corpus)} instances from {args.corpus}")
+    summary = run_batch(
+        corpus,
+        options=options,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        deadline_per_instance=args.deadline_per_instance,
+        results_path=args.results,
+        resume=args.resume,
+        progress=None if args.quiet else sys.stderr,
+    )
+    if not args.quiet:
+        print(f"batch: {summary.completed} completed ({summary.degraded} degraded), "
+              f"{summary.failed} failed, {summary.skipped} skipped "
+              f"in {summary.elapsed_s:.2f}s")
+        if summary.cache:
+            print(f"cache: {summary.cache.get('hits', 0)} hits, "
+                  f"{summary.cache.get('misses', 0)} misses, "
+                  f"{summary.cache.get('writes', 0)} writes")
+        print(f"results stream: {args.results}")
+    if args.summary:
+        atomic_write(args.summary, json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        if not args.quiet:
+            print(f"summary written to {args.summary}")
+    return 0 if summary.ok else 1
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -426,6 +531,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "synthesize": _cmd_synthesize,
+        "batch": _cmd_batch,
         "demo": _cmd_demo,
         "tables": _cmd_tables,
         "lid": _cmd_lid,

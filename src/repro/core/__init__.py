@@ -6,6 +6,13 @@ matrices, pruning lemmas, candidate generation, merging construction)
 and the end-to-end :func:`~repro.core.synthesis.synthesize` driver.
 """
 
+from .cache import (
+    CacheStats,
+    PersistentCache,
+    current_persistent_cache,
+    library_fingerprint,
+    persistent_cache,
+)
 from .candidates import Candidate, CandidateSet, GenerationStats, PruningLevel, generate_candidates
 from .constraint_graph import Arc, ConstraintGraph, Port
 from .exceptions import (

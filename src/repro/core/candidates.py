@@ -43,6 +43,7 @@ from ..obs import TracerLike, Tracer, TraceSnapshot, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from ..runtime.checkpoint import CheckpointJournal
 from ..runtime.faults import WorkerCrashFault, fault_point
+from .cache import PersistentCache, current_persistent_cache, set_persistent_cache
 from .constraint_graph import ConstraintGraph
 from .exceptions import BudgetExceeded, InfeasibleError
 from .library import CommunicationLibrary
@@ -288,8 +289,10 @@ def generate_candidates(
             pool: Optional[_PoolManager] = None
             try:
                 if jobs is not None and jobs > 1:
+                    store = current_persistent_cache()
                     pool = _PoolManager(
-                        jobs, graph, library, polish_placement, tracer.enabled
+                        jobs, graph, library, polish_placement, tracer.enabled,
+                        cache_dir=str(store.directory) if store is not None else None,
                     )
                 mergings = _enumerate_mergings(
                     graph, library, matrices, pruning, max_arity, stats, polish_placement,
@@ -350,12 +353,18 @@ def _pool_init(
     library: CommunicationLibrary,
     polish_placement: bool,
     trace: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> None:
-    """Process-pool initializer: stash the shared synthesis inputs."""
+    """Process-pool initializer: stash the shared synthesis inputs.
+
+    When the parent runs under a persistent cache, each worker opens its
+    own append handle on the same directory (the store is multi-process
+    safe but each handle is single-process)."""
     _POOL_STATE["graph"] = graph
     _POOL_STATE["library"] = library
     _POOL_STATE["polish"] = polish_placement
     _POOL_STATE["trace"] = trace
+    set_persistent_cache(PersistentCache(cache_dir) if cache_dir else None)
 
 
 def _record_plan_outcome(
@@ -436,9 +445,10 @@ class _PoolManager:
         library: CommunicationLibrary,
         polish_placement: bool,
         trace: bool,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.jobs = jobs
-        self._initargs = (graph, library, polish_placement, trace)
+        self._initargs = (graph, library, polish_placement, trace, cache_dir)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def submit(self, fn, *args) -> Future:

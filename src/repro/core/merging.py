@@ -21,9 +21,10 @@ descriptions) and can materialize them into an implementation graph.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .cache import current_persistent_cache
 from .constraint_graph import Arc, ConstraintGraph
 from .exceptions import InfeasibleError
 from .geometry import Norm, Point
@@ -144,9 +145,39 @@ def build_merging_plan(
     if len(arc_names) < 2:
         raise ValueError("a merging involves at least two arcs")
     arcs = [graph.arc(name) for name in arc_names]
+
+    # Cross-run persistent cache: the solve depends only on the norm,
+    # the polish flag, the group's endpoint geometry + bandwidths (in
+    # group order) and the library (covered by the key's fingerprint) —
+    # arc *names* are presentational and re-applied on a hit.
+    store = current_persistent_cache()
+    cache_key = None
+    if store is not None:
+        cache_key = [
+            graph.norm.name,
+            bool(polish_placement),
+            [
+                [
+                    a.source.position.x,
+                    a.source.position.y,
+                    a.target.position.x,
+                    a.target.position.y,
+                    a.bandwidth,
+                ]
+                for a in arcs
+            ],
+        ]
+        found, cached = store.lookup("merge", library, cache_key)
+        if found:
+            if cached is None:
+                return None
+            return replace(cached, arc_names=tuple(arc_names))
+
     mux = library.cheapest_node(NodeKind.MUX)
     demux = library.cheapest_node(NodeKind.DEMUX)
     if mux is None or demux is None:
+        if store is not None:
+            store.put("merge", library, cache_key, None)
         return None
     mux_count = tree_node_count(len(arcs), mux.max_degree)
     demux_count = tree_node_count(len(arcs), demux.max_degree)
@@ -175,6 +206,8 @@ def build_merging_plan(
             for a in arcs
         )
     except InfeasibleError:
+        if store is not None:
+            store.put("merge", library, cache_key, None)
         return None
 
     cost = (
@@ -184,7 +217,7 @@ def build_merging_plan(
         + mux_count * mux.cost
         + demux_count * demux.cost
     )
-    return MergingPlan(
+    plan = MergingPlan(
         arc_names=tuple(arc_names),
         merge_point=s,
         split_point=t,
@@ -198,6 +231,9 @@ def build_merging_plan(
         cost=cost,
         placement_method=placement.method,
     )
+    if store is not None:
+        store.put("merge", library, cache_key, plan)
+    return plan
 
 
 def materialize_merging(

@@ -33,6 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from .cache import current_persistent_cache
 from .exceptions import InfeasibleError
 from .geometry import Point
 from .implementation import ImplementationGraph, Path
@@ -147,6 +148,17 @@ def best_mixed_segmentation(
     """
     if distance < 0 or bandwidth <= 0:
         raise InfeasibleError(f"degenerate requirement d={distance}, b={bandwidth}")
+
+    # Cross-run persistent cache ("mixed" space).  Infeasibility is a
+    # raise here, not a None return, so only successes are cached.
+    store = current_persistent_cache()
+    cache_key = None
+    if store is not None:
+        cache_key = [distance, bandwidth, max_segments]
+        found, cached = store.lookup("mixed", library, cache_key)
+        if found and cached is not None:
+            return cached
+
     links = _usable_links(bandwidth, library)
     if not links:
         raise InfeasibleError(
@@ -203,13 +215,16 @@ def best_mixed_segmentation(
         )
 
     cost, layout = best
-    return MixedChainPlan(
+    plan = MixedChainPlan(
         segments=tuple((link, n, span) for link, n, span in layout),
         repeater=repeater if len(layout) > 1 or layout[0][1] > 1 else None,
         distance=distance,
         bandwidth=bandwidth,
         cost=cost,
     )
+    if store is not None:
+        store.put("mixed", library, cache_key, plan)
+    return plan
 
 
 def materialize_mixed_chain(

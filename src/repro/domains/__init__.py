@@ -11,6 +11,7 @@
 """
 
 from .lan import lan_example, lan_library
+from .lid import classify_repeaters, lid_aware_synthesize, lid_cost, lid_example
 from .mpeg4 import mpeg4_constraint_graph, mpeg4_example
 from .multichip import multichip_constraint_graph, multichip_example, multichip_library
 from .soc import soc_library, repeater_cost, soc_example
@@ -30,4 +31,8 @@ __all__ = [
     "multichip_constraint_graph",
     "multichip_library",
     "multichip_example",
+    "classify_repeaters",
+    "lid_aware_synthesize",
+    "lid_cost",
+    "lid_example",
 ]

@@ -42,8 +42,43 @@ __all__ = [
     "RepeaterClassification",
     "classify_repeaters",
     "lid_cost",
+    "lid_example",
     "lid_aware_synthesize",
 ]
+
+
+def lid_example():
+    """A DSM global-interconnect instance for the LID analysis.
+
+    Six blocks on a 12 × 12 mm die with Manhattan routing over the
+    Example 2 library (``l_crit = 0.6 mm``): every global channel needs
+    a long repeater chain, so the buffer-versus-relay-station split of
+    :func:`classify_repeaters` is non-trivial across the ``l_clock``
+    sweep.  Returns ``(graph, library)`` like the other domain
+    builders.
+    """
+    from ..core.constraint_graph import ConstraintGraph
+    from ..core.geometry import MANHATTAN, Point
+    from .soc import soc_library
+
+    graph = ConstraintGraph(norm=MANHATTAN, name="lid-example")
+    graph.add_port("cpu0", Point(1.0, 1.0), module="cpu0")
+    graph.add_port("cpu1", Point(11.0, 1.0), module="cpu1")
+    graph.add_port("l3", Point(6.0, 6.0), module="l3")
+    graph.add_port("mem", Point(1.0, 11.0), module="mem")
+    graph.add_port("nic", Point(11.0, 11.0), module="nic")
+    graph.add_port("acc", Point(6.0, 1.5), module="acc")
+
+    for name, src, dst, bw in [
+        ("c1", "cpu0", "l3", 64e9),
+        ("c2", "cpu1", "l3", 64e9),
+        ("c3", "l3", "mem", 32e9),
+        ("c4", "acc", "l3", 16e9),
+        ("c5", "l3", "nic", 8e9),
+        ("c6", "cpu0", "nic", 4e9),
+    ]:
+        graph.add_channel(name, src, dst, bandwidth=bw)
+    return graph, soc_library()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,84 @@
+"""Incremental re-synthesis composed with the batch runner.
+
+An ECO-style session (:class:`repro.core.incremental.IncrementalSynthesizer`)
+evolves one instance through a chain of perturbations, snapshotting
+each revision to disk.  Batch-solving that corpus from scratch — with
+the shared persistent cache and a worker pool in play — must reproduce
+the incremental session's answers exactly: candidate reuse, cross-run
+caching, and batch sharding are all performance layers, never
+semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import discover_corpus, run_batch
+from repro.core import SynthesisOptions
+from repro.core.incremental import IncrementalSynthesizer
+from repro.io import save_instance
+from repro.netgen import clustered_graph, two_tier_library
+
+
+@pytest.fixture(scope="module")
+def perturbed_corpus(tmp_path_factory):
+    """(corpus dir, [expected cost per revision]) from one ECO session."""
+    directory = tmp_path_factory.mktemp("eco-corpus")
+    library = two_tier_library()
+    graph = clustered_graph(
+        n_clusters=2, ports_per_cluster=3, n_arcs=5, separation=100.0, seed=7
+    )
+    ports = [p.name for p in graph.ports]
+
+    inc = IncrementalSynthesizer(graph, library, SynthesisOptions(max_arity=3))
+    expected = []
+
+    def snapshot(step: int) -> None:
+        save_instance(directory / f"rev{step}.json", inc.graph, library)
+        expected.append(inc.solve().total_cost)
+
+    snapshot(0)
+    inc.change_bandwidth(inc.graph.arcs[0].name, 3.0)
+    snapshot(1)
+    inc.add_arc("eco-a", ports[0], ports[-1], bandwidth=5.0)
+    snapshot(2)
+    inc.remove_arc(inc.graph.arcs[1].name)
+    snapshot(3)
+    return directory, expected
+
+
+@pytest.mark.parametrize("jobs", [None, 2])
+def test_batch_from_scratch_matches_incremental_session(
+    perturbed_corpus, tmp_path, jobs
+):
+    directory, expected = perturbed_corpus
+    corpus = discover_corpus(directory)
+    assert len(corpus) == len(expected)
+
+    summary = run_batch(
+        corpus,
+        options=SynthesisOptions(max_arity=3),
+        jobs=jobs,
+        cache_dir=tmp_path / "cache",
+        results_path=tmp_path / "results.jsonl",
+    )
+    assert summary.ok and summary.completed == len(expected)
+    for record, cost in zip(summary.records, expected):
+        assert record["cost"] == pytest.approx(cost, rel=1e-9, abs=1e-9), (
+            f"{record['name']}: batch-from-scratch {record['cost']} != "
+            f"incremental {cost}"
+        )
+
+
+def test_warm_cache_replays_the_session_identically(perturbed_corpus, tmp_path):
+    """Re-batching the ECO corpus over the warm cache changes nothing."""
+    directory, _ = perturbed_corpus
+    corpus = discover_corpus(directory)
+    cache = tmp_path / "cache"
+    cold = run_batch(corpus, options=SynthesisOptions(max_arity=3),
+                     cache_dir=cache, results_path=tmp_path / "r1.jsonl")
+    warm = run_batch(corpus, options=SynthesisOptions(max_arity=3),
+                     cache_dir=cache, results_path=tmp_path / "r2.jsonl")
+    assert warm.cache.get("hits", 0) > 0
+    for a, b in zip(cold.records, warm.records):
+        assert a["result"] == b["result"]

@@ -76,10 +76,24 @@ def clean_result(instance, tmp_path_factory):
     return _comparable(out)
 
 
-def _kill_after(instance, journal, out, delay_s):
-    """Start a checkpointed synthesis and SIGKILL it after ``delay_s``.
+def _journal_records(journal):
+    """Completed (newline-terminated) records currently in the journal."""
+    try:
+        return journal.read_bytes().count(b"\n")
+    except FileNotFoundError:
+        return 0
 
-    Returns True when the kill landed (the process was still running).
+
+def _kill_at_progress(instance, journal, out, min_records, timeout_s=300):
+    """Start a checkpointed synthesis and SIGKILL it once the journal
+    holds at least ``min_records`` durable records.
+
+    Progress-conditioned rather than time-conditioned: under a loaded
+    machine (e.g. ``pytest -n auto``) a wall-clock delay lands at an
+    arbitrary — possibly post-exit — point, while a record count pins
+    the kill to a reproducible stage of the run.  Returns True when the
+    kill landed; False when the run finished before reaching the
+    threshold (still a valid, trivial resume case).
     """
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", *_synthesize_args(instance, journal, out)],
@@ -87,20 +101,29 @@ def _kill_after(instance, journal, out, delay_s):
         stderr=subprocess.DEVNULL,
         env=_env(),
     )
-    time.sleep(delay_s)
-    if proc.poll() is not None:
-        return False  # finished before the kill; still a valid (trivial) case
+    deadline = time.monotonic() + timeout_s
+    while _journal_records(journal) < min_records:
+        if proc.poll() is not None:
+            return False  # finished first; nothing left to kill
+        if time.monotonic() > deadline:  # pragma: no cover - hang guard
+            proc.kill()
+            proc.wait(timeout=60)
+            raise AssertionError(
+                f"synthesis made no progress: journal never reached "
+                f"{min_records} records within {timeout_s}s"
+            )
+        time.sleep(0.01)
     proc.send_signal(signal.SIGKILL)
     proc.wait(timeout=60)
     assert proc.returncode == -signal.SIGKILL
     return True
 
 
-@pytest.mark.parametrize("delay_s", [0.05, 0.2, 0.5, 0.9])
-def test_sigkill_then_resume_is_identical(instance, clean_result, tmp_path, delay_s):
-    journal = tmp_path / "j.ckpt"
-    out = tmp_path / "out.json"
-    _kill_after(instance, journal, out, delay_s)
+@pytest.mark.parametrize("min_records", [1, 3, 6, 10])
+def test_sigkill_then_resume_is_identical(instance, clean_result, tmp_path, min_records):
+    journal = tmp_path / f"j-{min_records}.ckpt"
+    out = tmp_path / f"out-{min_records}.json"
+    _kill_at_progress(instance, journal, out, min_records)
     resumed = _cli(*_synthesize_args(instance, journal, out))
     assert resumed.returncode == 0, resumed.stderr
     assert _comparable(out) == clean_result
@@ -110,8 +133,12 @@ def test_kill_resume_kill_resume(instance, clean_result, tmp_path):
     """Multiple kills of the same journal: progress accumulates."""
     journal = tmp_path / "j.ckpt"
     out = tmp_path / "out.json"
-    for delay_s in (0.1, 0.3):
-        _kill_after(instance, journal, out, delay_s)
+    killed_at = _journal_records(journal)
+    for extra in (1, 2):
+        # each round demands strictly more durable records than the
+        # last kill left behind, so every kill lands mid-progress
+        _kill_at_progress(instance, journal, out, killed_at + extra)
+        killed_at = _journal_records(journal)
     final = _cli(*_synthesize_args(instance, journal, out))
     assert final.returncode == 0, final.stderr
     assert _comparable(out) == clean_result

@@ -149,11 +149,42 @@ def scaling_section(lines: list) -> None:
     lines += ["", "![scaling](figures/scaling_costs.svg)", ""]
 
 
+def regenerate_conformance(out: Path) -> None:
+    """Refresh the golden conformance fixture (intentional drift only).
+
+    ``tests/test_conformance.py`` pins these records; run this after an
+    *intended* cost-affecting change, eyeball the diff, and commit the
+    fixture alongside the change.
+    """
+    import json
+
+    from repro.domains.conformance import conformance_snapshot
+
+    snapshot = conformance_snapshot()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    for name, record in snapshot.items():
+        print(f"  {name}: cost {record['total_cost']:,.6g}, "
+              f"{len(record['selected'])} selected")
+    print(f"wrote {out}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="skip the MPEG-4 run")
     parser.add_argument("--out", default=str(DOCS / "RESULTS.md"))
+    parser.add_argument(
+        "--conformance",
+        action="store_true",
+        help="instead of RESULTS.md, regenerate the golden conformance "
+        "fixture (tests/fixtures/conformance.json) that "
+        "tests/test_conformance.py pins",
+    )
     args = parser.parse_args(argv)
+
+    if args.conformance:
+        regenerate_conformance(ROOT / "tests" / "fixtures" / "conformance.json")
+        return 0
 
     t0 = time.perf_counter()
     lines = [
