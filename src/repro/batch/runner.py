@@ -129,6 +129,7 @@ def _solve_one(
     options: SynthesisOptions,
     deadline: Optional[float],
     sha: str,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     """Solve one instance; always returns a record, never raises.
 
@@ -138,6 +139,11 @@ def _solve_one(
     record.  A failure of any kind — malformed file, infeasible
     instance, validation error — becomes a ``"failed"`` record so one
     bad corpus member can never abort the batch.
+
+    ``trace=True`` runs the solve under a fresh :mod:`repro.obs` tracer
+    and attaches its JSON metrics as ``record["metrics"]`` — outside
+    ``record["result"]``, so traced and untraced solves stay
+    stable-dict identical.  Used by ``repro.serve`` streaming requests.
     """
     from ..io.json_io import load_instance
 
@@ -148,7 +154,7 @@ def _solve_one(
     try:
         graph, library = load_instance(path_str)
         budget = Budget(deadline_s=deadline) if deadline is not None else None
-        result = synthesize(graph, library, options, budget=budget)
+        result = synthesize(graph, library, options, budget=budget, trace=trace)
         quality = result.degradation.quality.value if result.degradation else "optimal"
         record.update(
             status="ok" if quality == "optimal" else "degraded",
@@ -156,6 +162,10 @@ def _solve_one(
             cost=result.total_cost,
             result=stable_result_dict(result),
         )
+        if trace and result.trace is not None:
+            from ..obs import metrics_dict
+
+            record["metrics"] = metrics_dict(result.trace)
     except Exception as exc:  # noqa: BLE001 - the record *is* the error channel
         record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
     record["elapsed_s"] = time.perf_counter() - started

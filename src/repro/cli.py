@@ -88,6 +88,16 @@ def _nonnegative_seconds(text: str) -> float:
     return value
 
 
+def _positive_seconds(text: str) -> float:
+    """Deadlines: a zero-second budget is always a usage error — it
+    would expire at the first checkpoint and serve nothing — so reject
+    it at the parser (exit 2) instead of failing downstream."""
+    value = _nonnegative_seconds(text)
+    if value == 0:
+        raise argparse.ArgumentTypeError("must be a positive number of seconds, got 0")
+    return value
+
+
 def _positive_jobs(text: str) -> int:
     try:
         value = int(text)
@@ -122,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
     syn.add_argument(
         "--deadline",
-        type=_nonnegative_seconds,
+        type=_positive_seconds,
         default=None,
         metavar="SECONDS",
         help="wall-clock budget; the run becomes supervised (anytime "
@@ -216,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the same library skip recomputation (see repro.core.cache)",
     )
     bat.add_argument(
-        "--deadline-per-instance", type=_nonnegative_seconds, default=None,
+        "--deadline-per-instance", type=_positive_seconds, default=None,
         metavar="SECONDS",
         help="wall-clock budget per instance; slow instances degrade "
         "(anytime fallback) instead of stalling the batch",
@@ -243,6 +253,50 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
     bat.add_argument("--quiet", action="store_true",
                      help="suppress per-instance progress and the summary table")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the synthesis service: an HTTP/JSON server with "
+        "bounded-queue admission control, per-client fair scheduling, "
+        "per-request deadlines that degrade instead of failing, a shared "
+        "persistent cache, and graceful drain on SIGTERM/SIGINT "
+        "(see docs/USAGE.md §14)",
+        epilog="endpoints: GET /v1/health, GET /v1/stats, POST /v1/synthesize. "
+        "Overload is shed with 429 + Retry-After; SIGTERM drains gracefully.",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    srv.add_argument("--port", type=int, default=8349,
+                     help="TCP port; 0 picks an ephemeral port and prints it "
+                     "(default: %(default)s)")
+    srv.add_argument("--workers", type=_positive_jobs, default=2, metavar="N",
+                     help="solver worker processes = concurrent solves "
+                     "(default: %(default)s)")
+    srv.add_argument("--queue-limit", type=_positive_jobs, default=64, metavar="N",
+                     help="admission bound on queued requests; beyond it "
+                     "submissions are shed with 429 + Retry-After "
+                     "(default: %(default)s)")
+    srv.add_argument("--queue-limit-per-client", type=_positive_jobs, default=None,
+                     metavar="N",
+                     help="per-client queue bound (default: the global bound)")
+    srv.add_argument("--default-deadline", type=_positive_seconds, default=None,
+                     metavar="SECONDS",
+                     help="budget applied to requests that send no deadline_s")
+    srv.add_argument("--max-deadline", type=_positive_seconds, default=None,
+                     metavar="SECONDS",
+                     help="hard cap on client-requested deadlines")
+    srv.add_argument("--cache", metavar="DIR",
+                     help="persistent cache directory shared by every worker; "
+                     "repeat traffic over a library is served warm")
+    srv.add_argument("--results", metavar="FILE",
+                     help="append every served record (CRC-tagged JSON line) here")
+    srv.add_argument("--spool", metavar="DIR",
+                     help="scratch directory for spooled instances "
+                     "(default: a private temp dir)")
+    srv.add_argument("--drain-grace", type=_nonnegative_seconds, default=30.0,
+                     metavar="SECONDS",
+                     help="seconds granted to queued + in-flight work after "
+                     "SIGTERM/SIGINT before the remainder is failed out "
+                     "(default: %(default)s)")
 
     sub.add_parser("tables", help="print the paper's Tables 1 and 2 (WAN Γ and Δ)")
 
@@ -519,6 +573,26 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        queue_limit_per_client=args.queue_limit_per_client,
+        default_deadline_s=args.default_deadline,
+        max_deadline_s=args.max_deadline,
+        cache_dir=args.cache,
+        results_path=args.results,
+        spool_dir=args.spool,
+        drain_grace_s=args.drain_grace,
+    )
+    serve_forever(config)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code.
 
@@ -532,6 +606,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "synthesize": _cmd_synthesize,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
         "tables": _cmd_tables,
         "lid": _cmd_lid,

@@ -26,7 +26,7 @@ from ..obs import NULL_TRACER, Tracer, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from ..runtime.checkpoint import CheckpointJournal, instance_fingerprint
 from ..runtime.report import DegradationReport, ResultQuality, StageAttempt
-from ..runtime.supervisor import Supervisor
+from ..runtime.supervisor import RetryPolicy, Supervisor
 from .candidates import Candidate, CandidateSet, PruningLevel, generate_candidates
 from .constraint_graph import ConstraintGraph
 from .exceptions import CoveringError, SynthesisError
@@ -98,6 +98,13 @@ class SynthesisOptions:
     #: never resumed over.  A resume under a fresh ``budget`` continues
     #: from the journal — completed work is never re-spent.
     resume: bool = False
+    #: retry/backoff policy for the supervised fallback chain (``None``
+    #: = the :class:`~repro.runtime.supervisor.RetryPolicy` defaults).
+    #: Concurrent budgeted runs (``repro.serve``) pass per-request
+    #: ``jitter_seed`` values so transient-fault retries decorrelate
+    #: instead of hammering a shared resource in lockstep.  Execution
+    #: knob only — it never changes what result is computed.
+    retry: Optional["RetryPolicy"] = None
 
 
 @dataclass
@@ -367,6 +374,7 @@ def _synthesize_journaled(
                     budget=tracker,
                     stages=_fallback_stages(options.ucp_solver),
                     solver_options=options.solver_options,
+                    retry=options.retry,
                     on_budget_exhausted=options.on_budget_exhausted,
                     journal=journal,
                 )

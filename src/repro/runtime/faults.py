@@ -23,6 +23,7 @@ Example — force the branch-and-bound to "time out" after 100 nodes::
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Optional, Sequence
@@ -46,8 +47,12 @@ __all__ = [
 #: *dispatch* site (``"pool.dispatch.k2"``, ...): the dispatcher marks
 #: the chunk so the worker process that picks it up dies abruptly
 #: (``os._exit``) mid-chunk, exercising the pool-recovery path exactly
-#: as a segfault or OOM kill would.
-FAULT_KINDS = ("timeout", "node_budget", "error", "worker_crash")
+#: as a segfault or OOM kill would;
+#: ``stall`` — raises nothing: the injector itself blocks for
+#: ``stall_s`` seconds (via its injectable ``sleep``) before letting the
+#: site proceed, so deadline-overrun, watchdog and admission-control
+#: paths are testable without planting real sleeps in product code.
+FAULT_KINDS = ("timeout", "node_budget", "error", "worker_crash", "stall")
 
 
 class WorkerCrashFault(Exception):
@@ -77,6 +82,8 @@ class FaultSpec:
     times: Optional[int] = None
     message: str = ""
     exception: Optional[Callable[[str], Exception]] = None
+    #: ``stall`` kind only: how long the injector blocks at the site.
+    stall_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS and self.exception is None:
@@ -87,6 +94,10 @@ class FaultSpec:
             raise ValueError(f"after must be nonnegative, got {self.after}")
         if self.times is not None and self.times <= 0:
             raise ValueError(f"times must be positive or None, got {self.times}")
+        if self.kind == "stall" and self.stall_s <= 0:
+            raise ValueError(f"stall specs need stall_s > 0, got {self.stall_s}")
+        if self.kind != "stall" and self.stall_s != 0.0:
+            raise ValueError(f"stall_s only applies to kind='stall', got kind={self.kind!r}")
 
     def build_exception(self, site: str) -> Exception:
         """The exception this spec raises when it fires at ``site``."""
@@ -111,12 +122,20 @@ class FaultInjector:
     test cannot leak faults into the next one.
     """
 
-    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0) -> None:
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.specs: List[FaultSpec] = list(specs)
         self.seed = seed
         self._rng = random.Random(seed)
+        self._sleep = sleep
         self._site_hits: Dict[str, int] = {}
         self._spec_fires: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        #: cumulative seconds injected by fired ``stall`` specs.
+        self.total_stalled_s = 0.0
 
     # ------------------------------------------------------------------
     def hits(self, site: str) -> int:
@@ -129,7 +148,13 @@ class FaultInjector:
         return sum(self._spec_fires.values())
 
     def fire(self, site: str) -> None:
-        """Record a hit of ``site``; raise if some spec decides to fire."""
+        """Record a hit of ``site``; raise if some spec decides to fire.
+
+        ``stall`` specs never raise: the injector blocks for the spec's
+        ``stall_s`` (through the injectable ``sleep``) and keeps
+        matching, so a stall can be stacked in front of a raising spec
+        at the same site.
+        """
         seen = self._site_hits.get(site, 0)
         self._site_hits[site] = seen + 1
         for i, spec in enumerate(self.specs):
@@ -142,6 +167,10 @@ class FaultInjector:
             if spec.probability < 1.0 and self._rng.random() >= spec.probability:
                 continue
             self._spec_fires[i] += 1
+            if spec.kind == "stall" and spec.exception is None:
+                self.total_stalled_s += spec.stall_s
+                self._sleep(spec.stall_s)
+                continue
             raise spec.build_exception(site)
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ feasible incumbent, still raises.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -49,21 +50,41 @@ DEFAULT_STAGES: Tuple[str, ...] = ("bnb", "ilp", "greedy")
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How transient stage failures are retried."""
+    """How transient stage failures are retried.
+
+    ``backoff_jitter`` spreads concurrent retriers apart: a value ``j``
+    in ``(0, 1]`` scales each backoff by a factor drawn uniformly from
+    ``[1 - j, 1 + j]`` out of a ``jitter_seed``-seeded RNG, so requests
+    that hit the same transient fault at the same moment do not retry
+    in lockstep.  The default (``0.0``) keeps backoff exactly
+    deterministic, and any fixed seed keeps a single run reproducible.
+    """
 
     max_attempts: int = 3
     backoff_base_s: float = 0.05
     backoff_factor: float = 2.0
+    backoff_jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
             raise ValueError("backoff_base_s must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}")
 
     def backoff_s(self, attempt: int) -> float:
-        """Sleep after the ``attempt``-th failure (1-based)."""
+        """Sleep after the ``attempt``-th failure (1-based), jitter-free."""
         return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+    def jittered_backoff_s(self, attempt: int, rng: Optional[random.Random]) -> float:
+        """The backoff actually slept: :meth:`backoff_s` scaled by the
+        seeded jitter factor (identity when jitter is disabled)."""
+        backoff = self.backoff_s(attempt)
+        if self.backoff_jitter > 0.0 and rng is not None:
+            backoff *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return backoff
 
 
 class Supervisor:
@@ -96,6 +117,12 @@ class Supervisor:
         self.stage_share = stage_share
         self.on_budget_exhausted = on_budget_exhausted
         self._sleep = sleep
+        # seeded once per supervisor: jittered backoffs are reproducible
+        # for a given (policy, seed) but decorrelated across supervisors
+        # built with different seeds (e.g. per-request in repro.serve).
+        self._jitter_rng = (
+            random.Random(self.retry.jitter_seed) if self.retry.backoff_jitter > 0 else None
+        )
         #: checkpoint journal threaded into the exact stages: incumbents
         #: they prove are durably recorded, and a resumed chain seeds
         #: from the best record instead of starting cold.
@@ -181,7 +208,7 @@ class Supervisor:
                         backoff = 0.0
                         if retriable:
                             backoff = min(
-                                self.retry.backoff_s(attempt),
+                                self.retry.jittered_backoff_s(attempt, self._jitter_rng),
                                 max(0.0, tracker.remaining_s()),
                             )
                         attempts.append(

@@ -1,0 +1,49 @@
+"""``repro.serve`` — resilient synthesis-as-a-service.
+
+An asyncio HTTP/JSON front end (``repro serve``) over the batch
+engine's self-healing worker pool: bounded-queue admission control with
+``Retry-After`` backpressure, per-client fair scheduling, per-request
+deadlines that degrade instead of failing, a stuck-worker watchdog,
+chunked JSON-lines progress/incumbent streaming, one warm persistent
+cache across all requests, and graceful drain on SIGTERM/SIGINT.
+
+See ``docs/USAGE.md`` §14 for the wire protocol and semantics.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, Rejection
+from .protocol import (
+    HttpRequest,
+    ProtocolError,
+    STREAM_END,
+    SubmitRequest,
+    event_bytes,
+    parse_submit,
+    read_request,
+    response_bytes,
+    retry_after_headers,
+    stream_header_bytes,
+)
+from .scheduler import FairScheduler
+from .server import ServeConfig, ServerStats, ServerThread, SynthesisServer, serve_forever
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "Rejection",
+    "FairScheduler",
+    "ProtocolError",
+    "HttpRequest",
+    "SubmitRequest",
+    "parse_submit",
+    "read_request",
+    "response_bytes",
+    "stream_header_bytes",
+    "event_bytes",
+    "retry_after_headers",
+    "STREAM_END",
+    "ServeConfig",
+    "ServerStats",
+    "ServerThread",
+    "SynthesisServer",
+    "serve_forever",
+]

@@ -1,0 +1,149 @@
+"""Admission control for the synthesis service.
+
+Overload behavior is the product: a server that queues without bound
+turns a traffic spike into unbounded latency for everyone and an OOM
+kill for itself.  The :class:`AdmissionController` enforces two bounds
+*before* any work is spent on a request:
+
+- a **global queue bound** (``max_queue``): beyond it every submission
+  is shed immediately with a 429 and a ``Retry-After`` hint derived
+  from the observed service rate — the client learns *when* capacity
+  is expected, not just that there is none;
+- a **per-client queue bound** (``max_queue_per_client``): one
+  flooding client saturates its own allowance, never the whole queue,
+  so admission composes with the round-robin fair scheduler to keep a
+  flood from starving polite clients.
+
+The controller is plain synchronous state mutated only from the event
+loop thread — no locks, deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["AdmissionPolicy", "AdmissionController", "Rejection"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds and hints applied at the front door."""
+
+    #: total queued (admitted, not yet running) requests.
+    max_queue: int = 64
+    #: queued requests per client key (None = the global bound).
+    max_queue_per_client: Optional[int] = None
+    #: lower bound of every Retry-After hint, seconds.
+    retry_after_floor_s: float = 0.5
+    #: EMA smoothing of observed per-request service time.
+    service_time_alpha: float = 0.2
+    #: service-time prior before any request completes, seconds.
+    service_time_prior_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_queue_per_client is not None and self.max_queue_per_client < 1:
+            raise ValueError(
+                f"max_queue_per_client must be >= 1 or None, got {self.max_queue_per_client}"
+            )
+        if not 0.0 < self.service_time_alpha <= 1.0:
+            raise ValueError(f"service_time_alpha must be in (0, 1], got {self.service_time_alpha}")
+        if self.retry_after_floor_s < 0 or self.service_time_prior_s <= 0:
+            raise ValueError("retry_after_floor_s must be >= 0 and service_time_prior_s > 0")
+
+    @property
+    def client_bound(self) -> int:
+        return self.max_queue_per_client if self.max_queue_per_client is not None else self.max_queue
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why a submission was shed, plus when to come back."""
+
+    reason: str  # "queue-full" | "client-queue-full" | "draining"
+    retry_after_s: float
+
+
+@dataclass
+class AdmissionController:
+    """Bounded-queue accounting plus the Retry-After estimator."""
+
+    policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    workers: int = 1
+    queued_total: int = 0
+    queued_by_client: Dict[str, int] = field(default_factory=dict)
+    admitted: int = 0
+    shed_queue_full: int = 0
+    shed_client_full: int = 0
+    #: EMA of per-request service seconds (None until the first finish).
+    service_time_s: Optional[float] = None
+
+    def try_admit(self, client: str) -> Optional[Rejection]:
+        """Admit (count and return None) or shed (return the rejection)."""
+        if self.queued_total >= self.policy.max_queue:
+            self.shed_queue_full += 1
+            return Rejection("queue-full", self.retry_after_s())
+        if self.queued_by_client.get(client, 0) >= self.policy.client_bound:
+            self.shed_client_full += 1
+            # only this client's backlog gates here, so the hint scales
+            # with *their* queue, not the global one
+            backlog = self.queued_by_client.get(client, 0)
+            return Rejection("client-queue-full", self.retry_after_s(backlog))
+        self.queued_total += 1
+        self.queued_by_client[client] = self.queued_by_client.get(client, 0) + 1
+        self.admitted += 1
+        return None
+
+    def release(self, client: str) -> None:
+        """A queued request left the queue (dispatched or abandoned)."""
+        if self.queued_total <= 0 or self.queued_by_client.get(client, 0) <= 0:
+            raise RuntimeError(f"release without a matching admit for client {client!r}")
+        self.queued_total -= 1
+        remaining = self.queued_by_client[client] - 1
+        if remaining:
+            self.queued_by_client[client] = remaining
+        else:
+            del self.queued_by_client[client]
+
+    def observe_service(self, elapsed_s: float) -> None:
+        """Fold one finished request's service time into the EMA."""
+        elapsed_s = max(0.0, elapsed_s)
+        if self.service_time_s is None:
+            self.service_time_s = elapsed_s
+        else:
+            alpha = self.policy.service_time_alpha
+            self.service_time_s = alpha * elapsed_s + (1 - alpha) * self.service_time_s
+
+    def retry_after_s(self, backlog: Optional[int] = None) -> float:
+        """Expected seconds until a slot frees for one more request.
+
+        ``backlog`` requests ahead, served ``workers`` at a time at the
+        observed (EMA) service rate, floored so clients never busy-spin.
+        """
+        per_request = (
+            self.service_time_s if self.service_time_s is not None
+            else self.policy.service_time_prior_s
+        )
+        waiting = self.queued_total if backlog is None else backlog
+        estimate = (waiting + 1) * per_request / max(1, self.workers)
+        return max(self.policy.retry_after_floor_s, estimate)
+
+    @property
+    def shed(self) -> int:
+        """Total submissions shed at the front door."""
+        return self.shed_queue_full + self.shed_client_full
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "queued": self.queued_total,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_client_full": self.shed_client_full,
+            "service_time_ema_s": self.service_time_s,
+            "retry_after_s": self.retry_after_s(),
+            "max_queue": self.policy.max_queue,
+            "max_queue_per_client": self.policy.client_bound,
+        }

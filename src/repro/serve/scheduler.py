@@ -1,0 +1,76 @@
+"""Per-client fair scheduling for the synthesis service.
+
+A single FIFO lets one client's burst of accepted requests occupy
+every worker slot for the whole burst; a :class:`FairScheduler` keeps
+one FIFO per client and serves clients round-robin, so a client who
+queued 30 requests and a client who queued 1 alternate at the dispatch
+point — worst-case wait for a polite client is bounded by the number
+of *clients* ahead, not the number of *requests* ahead.
+
+Deterministic by construction: the ring advances only on ``push`` of a
+newly-backlogged client and on ``pop``, so the dispatch order of a
+given submission sequence is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["FairScheduler"]
+
+T = TypeVar("T")
+
+
+class FairScheduler(Generic[T]):
+    """Round-robin-across-clients, FIFO-within-client work queue."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, Deque[T]] = {}
+        #: clients with pending work, in service order; invariant: a
+        #: client is in the ring iff its queue is nonempty.
+        self._ring: Deque[str] = deque()
+
+    def push(self, client: str, item: T) -> None:
+        """Enqueue ``item`` behind ``client``'s earlier submissions."""
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = deque()
+        if not queue:
+            self._ring.append(client)
+        queue.append(item)
+
+    def pop(self) -> Optional[T]:
+        """The next item in fair order, or ``None`` when idle."""
+        if not self._ring:
+            return None
+        client = self._ring.popleft()
+        queue = self._queues[client]
+        item = queue.popleft()
+        if queue:
+            self._ring.append(client)  # back of the ring: someone else's turn
+        else:
+            del self._queues[client]
+        return item
+
+    def drain(self) -> List[Tuple[str, T]]:
+        """Remove and return everything still queued, in fair order."""
+        drained: List[Tuple[str, T]] = []
+        while self._ring:
+            client = self._ring[0]
+            item = self.pop()
+            assert item is not None
+            drained.append((client, item))
+        return drained
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, client: str) -> int:
+        """Queued items for one client."""
+        return len(self._queues.get(client, ()))
+
+    @property
+    def clients(self) -> List[str]:
+        """Clients with pending work, in current service order."""
+        return list(self._ring)

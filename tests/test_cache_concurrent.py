@@ -1,0 +1,164 @@
+"""Concurrent sharing of one :class:`PersistentCache` directory.
+
+The contract under test (documented in ``repro/core/cache.py``): a
+cache directory may be shared by concurrent *processes* — appends are
+line-buffered ``O_APPEND`` writes — and any torn or corrupted record is
+CRC-discarded on load, never served.  These tests drive two real
+subprocesses appending interleaved into one directory and then audit
+what a fresh handle serves, including the ``corrupt_discarded``
+accounting for deliberately damaged lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import CACHE_VERSION, PersistentCache, library_fingerprint
+from repro.netgen import two_tier_library
+
+PER_WORKER = 120
+
+#: run in a real child process: open a handle on the shared directory
+#: and append PER_WORKER records, flushing each line (put() flushes),
+#: signalling readiness and waiting for the starter gun so both
+#: children genuinely append concurrently.
+_WORKER = """
+import sys, time
+from pathlib import Path
+from repro.core.cache import PersistentCache
+from repro.netgen import two_tier_library
+
+cache_dir, worker, count, start_flag, ready_flag = sys.argv[1:6]
+library = two_tier_library()
+store = PersistentCache(cache_dir)
+Path(ready_flag).touch()
+while not Path(start_flag).exists():
+    time.sleep(0.001)
+for i in range(int(count)):
+    store.put("p2p", library, {"worker": worker, "i": i},
+              {"worker": worker, "i": i, "payload": "x" * 64})
+store.close()
+"""
+
+
+def _run_two_appenders(cache_dir: Path, tmp_path: Path) -> None:
+    env = dict(os.environ, PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+    start_flag = tmp_path / "start"
+    children = []
+    for worker in ("a", "b"):
+        ready = tmp_path / f"ready-{worker}"
+        children.append((
+            subprocess.Popen(
+                [sys.executable, "-c", _WORKER, str(cache_dir), worker,
+                 str(PER_WORKER), str(start_flag), str(ready)],
+                env=env,
+            ),
+            ready,
+        ))
+    for _proc, ready in children:
+        for _ in range(5000):
+            if ready.exists():
+                break
+            import time
+
+            time.sleep(0.01)
+        assert ready.exists(), "worker never came up"
+    start_flag.touch()  # both loose at once: appends interleave
+    for proc, _ready in children:
+        assert proc.wait(timeout=120) == 0
+
+
+class TestConcurrentAppend:
+    def test_interleaved_appends_all_served_none_corrupt(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _run_two_appenders(cache_dir, tmp_path)
+
+        library = two_tier_library()
+        store = PersistentCache(cache_dir)
+        for worker in ("a", "b"):
+            for i in range(PER_WORKER):
+                hit, value = store.lookup("p2p", library, {"worker": worker, "i": i})
+                assert hit, f"record ({worker}, {i}) lost in concurrent append"
+                assert value == {"worker": worker, "i": i, "payload": "x" * 64}
+        assert store.stats.corrupt_discarded == 0
+        assert store.stats.entries_loaded == 2 * PER_WORKER
+        assert store.stats.hits == 2 * PER_WORKER and store.stats.misses == 0
+        store.close()
+
+    def test_entry_file_actually_interleaves_both_workers(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _run_two_appenders(cache_dir, tmp_path)
+        fingerprint = library_fingerprint(two_tier_library())
+        entry = cache_dir / f"p2p-v{CACHE_VERSION}-{fingerprint[:16]}.jsonl"
+        owners = []
+        for raw in entry.read_bytes().splitlines():
+            record = json.loads(raw)
+            owners.append(json.loads(record["key"])["worker"])
+        assert sorted(owners) == ["a"] * PER_WORKER + ["b"] * PER_WORKER
+        # both writers reached the same file (the point of the layout)
+        assert set(owners) == {"a", "b"}
+
+
+class TestCorruptionAccounting:
+    def _seed(self, cache_dir: Path, count: int = 8) -> Path:
+        library = two_tier_library()
+        store = PersistentCache(cache_dir)
+        for i in range(count):
+            store.put("p2p", library, {"i": i}, {"i": i})
+        store.close()
+        fingerprint = library_fingerprint(library)
+        return cache_dir / f"p2p-v{CACHE_VERSION}-{fingerprint[:16]}.jsonl"
+
+    def test_each_damaged_line_counted_and_skipped(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        entry = self._seed(cache_dir)
+        lines = entry.read_bytes().splitlines(keepends=True)
+        # three distinct defects: unparseable bytes, a valid JSON object
+        # with a wrong CRC, and a torn (truncated) record — interleaved
+        # between good lines, as a crashed concurrent writer would leave
+        bad_crc = json.loads(lines[2])
+        bad_crc["crc"] = "00000000"
+        damaged = (
+            lines[0]
+            + b"\x00\xffnot json at all\n"
+            + lines[1]
+            + (json.dumps(bad_crc) + "\n").encode()
+            + lines[3]
+            + lines[4][: len(lines[4]) // 2]  # torn mid-record, no newline
+        )
+        entry.write_bytes(damaged)
+
+        library = two_tier_library()
+        store = PersistentCache(cache_dir)
+        served = [store.lookup("p2p", library, {"i": i})[0] for i in range(8)]
+        assert served == [True, True, False, True, False, False, False, False]
+        assert store.stats.corrupt_discarded == 3  # garbage, bad CRC, torn tail
+        assert store.stats.entries_loaded == 3
+        store.close()
+
+    def test_wrong_fingerprint_record_not_served(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        entry = self._seed(cache_dir, count=2)
+        record = json.loads(entry.read_bytes().splitlines()[0])
+        # a record claiming another library (e.g. a copied entry file):
+        # CRC-valid but fingerprint-mismatched — must be discarded
+        record.pop("crc")
+        record["fp"] = "0" * 64
+        import zlib
+
+        canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        record["crc"] = format(zlib.crc32(canonical.encode()), "08x")
+        with open(entry, "ab") as handle:
+            handle.write((json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode())
+
+        store = PersistentCache(cache_dir)
+        hit, _ = store.lookup("p2p", two_tier_library(), {"i": 0})
+        assert hit  # the original record still serves
+        assert store.stats.corrupt_discarded == 1
+        store.close()

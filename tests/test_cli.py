@@ -204,3 +204,50 @@ class TestExitCodes:
             ])
         assert code == 3
         assert "budget exceeded" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Zero/negative resource arguments die at the parser with exit 2
+    and a diagnostic naming the offending value — never downstream."""
+
+    @pytest.mark.parametrize("argv", [
+        ["synthesize", "x.json", "--deadline", "0"],
+        ["synthesize", "x.json", "--deadline", "-1.5"],
+        ["synthesize", "x.json", "--jobs", "0"],
+        ["synthesize", "x.json", "--jobs", "-2"],
+        ["batch", "corpus", "--deadline-per-instance", "0"],
+        ["batch", "corpus", "--deadline-per-instance", "-3"],
+        ["batch", "corpus", "--jobs", "0"],
+        ["serve", "--workers", "0"],
+        ["serve", "--queue-limit", "-1"],
+        ["serve", "--default-deadline", "0"],
+        ["serve", "--max-deadline", "-2"],
+        ["serve", "--drain-grace", "-1"],
+    ])
+    def test_nonpositive_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "not a number" in err or "not an integer" in err
+
+    @pytest.mark.parametrize("argv", [
+        ["synthesize", "x.json", "--deadline", "soon"],
+        ["synthesize", "x.json", "--jobs", "many"],
+    ])
+    def test_non_numeric_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+
+    def test_valid_values_still_accepted(self):
+        args = build_parser().parse_args(
+            ["synthesize", "x.json", "--deadline", "2.5", "--jobs", "4"]
+        )
+        assert args.deadline == 2.5 and args.jobs == 4
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8349 and args.workers == 2
+        assert args.queue_limit == 64 and args.queue_limit_per_client is None
+        assert args.drain_grace == 30.0

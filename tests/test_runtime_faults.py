@@ -113,3 +113,43 @@ class TestContextManagement:
             with FaultInjector([FaultSpec(site="s", kind="timeout")]):
                 fault_point("s")
         assert active_injector() is None
+
+
+class TestStallFaults:
+    def test_stall_blocks_without_raising(self):
+        naps = []
+        inj = FaultInjector(
+            [FaultSpec(site="s", kind="stall", stall_s=2.5)], sleep=naps.append
+        )
+        with inj:
+            fault_point("s")  # no exception
+            fault_point("s")
+        assert naps == [2.5, 2.5]
+        assert inj.total_stalled_s == 5.0
+        assert inj.total_fired == 2
+
+    def test_stall_spec_requires_positive_duration(self):
+        with pytest.raises(ValueError, match="stall_s"):
+            FaultSpec(site="s", kind="stall")
+        with pytest.raises(ValueError, match="stall_s"):
+            FaultSpec(site="s", kind="error", stall_s=1.0)
+
+    def test_stall_stacks_in_front_of_a_raising_spec(self):
+        naps = []
+        plan = [
+            FaultSpec(site="s", kind="stall", stall_s=1.0),
+            FaultSpec(site="s", kind="timeout"),
+        ]
+        with FaultInjector(plan, sleep=naps.append):
+            with pytest.raises(BudgetExceeded):
+                fault_point("s")
+        assert naps == [1.0]  # stalled first, then the timeout fired
+
+    def test_stall_honours_after_and_times(self):
+        naps = []
+        plan = [FaultSpec(site="s", kind="stall", stall_s=0.5, after=1, times=2)]
+        with FaultInjector(plan, sleep=naps.append) as inj:
+            for _ in range(5):
+                fault_point("s")
+        assert naps == [0.5, 0.5]  # skipped hit 1, fired on 2 and 3 only
+        assert inj.total_stalled_s == 1.0

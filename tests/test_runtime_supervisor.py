@@ -201,3 +201,67 @@ class TestConfigValidation:
     def test_bad_retry_policy_rejected(self):
         with pytest.raises(ValueError, match="max_attempts"):
             RetryPolicy(max_attempts=0)
+
+
+class TestBackoffJitter:
+    def test_default_policy_has_no_jitter(self):
+        policy = RetryPolicy(backoff_base_s=0.01)
+        import random
+
+        assert policy.backoff_jitter == 0.0
+        # jittered == plain for every attempt when jitter is off
+        rng = random.Random(0)
+        for attempt in range(1, 5):
+            assert policy.jittered_backoff_s(attempt, rng) == policy.backoff_s(attempt)
+
+    def test_jitter_bounds_and_determinism(self):
+        import random
+
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_jitter=0.5, jitter_seed=11)
+
+        def series():
+            rng = random.Random(policy.jitter_seed)
+            return [policy.jittered_backoff_s(a, rng) for a in range(1, 9)]
+
+        a, b = series(), series()
+        assert a == b  # same seed, same schedule
+        for attempt, backoff in enumerate(a, start=1):
+            base = policy.backoff_s(attempt)
+            assert base * 0.5 <= backoff <= base * 1.5
+        assert len(set(round(x / policy.backoff_s(i + 1), 6) for i, x in enumerate(a))) > 1
+
+    def test_different_seeds_decorrelate(self):
+        import random
+
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_jitter=0.5)
+        a = [policy.jittered_backoff_s(n, random.Random(1)) for n in range(1, 5)]
+        b = [policy.jittered_backoff_s(n, random.Random(2)) for n in range(1, 5)]
+        assert a != b
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            RetryPolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            RetryPolicy(backoff_jitter=-0.1)
+
+    def test_supervised_solve_with_jitter_still_deterministic(self, greedy_trap):
+        plan = [FaultSpec(site="supervisor.bnb", kind="error", times=2)]
+        sleeps = []
+
+        def run():
+            sup = Supervisor(
+                retry=RetryPolicy(
+                    max_attempts=3, backoff_base_s=0.01,
+                    backoff_jitter=0.5, jitter_seed=7,
+                ),
+                sleep=sleeps.append,
+            )
+            with FaultInjector(plan):
+                cover, report = sup.solve(greedy_trap)
+            return cover.column_names, cover.weight
+
+        first = run()
+        marks = list(sleeps)
+        assert first == run()
+        assert sleeps[len(marks):] == marks  # identical jittered schedule
+        assert all(0.005 <= s <= 0.045 for s in marks)
