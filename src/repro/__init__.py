@@ -37,6 +37,7 @@ from .core import (  # noqa: F401
     CandidateSet,
     CommunicationLibrary,
     ConstraintGraph,
+    DecompositionReport,
     GenerationStats,
     ImplArc,
     ImplementationGraph,
@@ -76,6 +77,7 @@ from .core import (  # noqa: F401
     materialize_plan,
     materialize_selection,
     point_to_point_cost,
+    resolve_strategy,
     synthesize,
     validate,
     CacheStats,

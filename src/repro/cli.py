@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from . import Budget, PruningLevel, SynthesisOptions, compute_matrices, synthesize
+from .core.synthesis import STRATEGIES
 from .analysis import (
     format_delta_table,
     format_gamma_table,
@@ -129,6 +130,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate pruning level (default: lemmas)",
     )
     syn.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
+    syn.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="scaling strategy: 'exact' enumerates all K-way subsets, "
+        "'decompose' partitions into certified clusters, 'colgen' prices "
+        "merging candidates lazily; 'auto' (default) picks by instance "
+        "size and stays exact at paper scale",
+    )
+    syn.add_argument(
+        "--exact",
+        action="store_const",
+        const="exact",
+        dest="strategy",
+        help="shorthand for --strategy exact (exhaustive enumeration)",
+    )
+    syn.add_argument(
+        "--max-cluster-arcs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --strategy decompose: force-split clusters larger than "
+        "N arcs (caps per-cluster cost; voids the optimality certificate)",
+    )
     syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
     syn.add_argument(
         "--deadline",
@@ -251,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=PruningLevel.LEMMAS.value,
     )
     bat.add_argument("--solver", choices=("bnb", "ilp"), default="bnb")
+    bat.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="auto",
+        help="scaling strategy per instance (see synthesize --strategy; "
+        "default: auto)",
+    )
     bat.add_argument("--quiet", action="store_true",
                      help="suppress per-instance progress and the summary table")
 
@@ -394,6 +426,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
+        strategy=args.strategy,
+        max_cluster_arcs=args.max_cluster_arcs,
     )
     if args.resume:
         _report_checkpoint_tail(args, graph, library, options)
@@ -414,6 +448,11 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         print(synthesis_report(result, title=f"Synthesis of {args.instance}"))
         if result.degradation is not None:
             print(f"runtime: {result.degradation.summary()}")
+        if result.decomposition is not None:
+            d = result.decomposition
+            gap = "n/a" if d.gap_bound is None else f"{d.gap_bound:.6g}"
+            print(f"strategy: {d.strategy} clusters={d.n_clusters} "
+                  f"gap_bound={gap} certified={d.certified}")
     _emit_trace(args, result)
     if args.out:
         atomic_write(
@@ -468,6 +507,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_arity=args.max_arity,
         ucp_solver=args.solver,
         on_budget_exhausted="degrade",
+        strategy=args.strategy,
     )
     if not args.quiet:
         print(f"batch: {len(corpus)} instances from {args.corpus}")

@@ -71,11 +71,21 @@ from .pruning import (
     theorem_3_2_not_mergeable,
 )
 from .synthesis import (
+    STRATEGIES,
     SynthesisOptions,
     SynthesisResult,
     build_covering_problem,
     materialize_selection,
+    resolve_strategy,
     synthesize,
+)
+
+# must follow .synthesis: decompose builds on its types at import time
+from .decompose import (
+    DecompositionReport,
+    certified_partition,
+    synthesize_colgen,
+    synthesize_decomposed,
 )
 from .validation import validate, validate_bandwidth, validate_capacity, validate_structure
 

@@ -30,6 +30,7 @@ Pruning levels (the ablation axis):
 from __future__ import annotations
 
 import itertools
+import logging
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -89,6 +90,13 @@ _PRUNE_CHUNK = 8192
 #: keep every worker busy near a deadline, large enough to amortize
 #: pickling of the argument lists.
 _PLAN_CHUNK = 16
+
+_log = logging.getLogger(__name__)
+
+
+def _cpu_count() -> int:
+    """The machine's usable core count (module-level so tests can patch)."""
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -160,6 +168,13 @@ class GenerationStats:
     #: planning chunks replayed from a checkpoint journal instead of
     #: re-solved (resume runs only).
     chunks_replayed: int = 0
+    #: worker processes actually used (1 = in-process serial).  Requests
+    #: beyond the machine's core count are clamped — extra pool workers
+    #: on an oversubscribed machine only add dispatch overhead — so this
+    #: may be lower than the ``jobs`` argument; the clamp is logged.
+    #: Excluded from equality: execution metadata, not result content
+    #: (serial and parallel runs must compare stats-identical).
+    effective_jobs: int = field(default=1, compare=False)
 
     @property
     def total_mergings(self) -> int:
@@ -254,7 +269,17 @@ def generate_candidates(
     """
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count, got {jobs}")
+    if jobs is not None and jobs > 1:
+        cores = _cpu_count()
+        if jobs > cores:
+            _log.info(
+                "clamping jobs=%d to this machine's %d core(s): extra pool "
+                "workers only add dispatch overhead",
+                jobs, cores,
+            )
+            jobs = cores
     stats = GenerationStats()
+    stats.effective_jobs = jobs or 1
     tracker = as_tracker(budget)
     tracer = current_tracer()
     arcs = graph.arcs
@@ -263,6 +288,7 @@ def generate_candidates(
     with tracer.span(
         "candidates.generate", arcs=n, pruning=pruning.value, jobs=jobs or 1
     ) as gen_span:
+        tracer.gauge("candidates.effective_jobs", float(jobs or 1))
         p2p_candidates: List[Candidate] = []
         p2p_cost: Dict[str, float] = {}
         with tracer.span("candidates.p2p", arcs=n):

@@ -1,0 +1,1066 @@
+"""Scalable synthesis strategies: cluster decomposition and lazy
+column generation (``repro.core.decompose``).
+
+The exact pipeline enumerates every K-way merging subset and plans a
+placement for every pruning survivor before solving the covering step —
+which caps it at tens of arcs.  This module provides the two standard
+escapes, both built on the *same* Section 3 predicates the exact
+pipeline uses, so their optimality claims inherit the lemmas'
+soundness (Assumption 2.1: stage costs monotone in length and
+bandwidth):
+
+**Cluster decomposition** (``strategy="decompose"``)
+    Partition the arcs into clusters such that every cluster-spanning
+    merging subset is *certifiably* pruned, synthesize each cluster
+    independently (reusing the self-healing planning pool), and stitch
+    the per-cluster covers back together.  The certificate (below)
+    makes the decomposition lossless: the union of the per-cluster
+    candidate universes equals the exact pipeline's universe, so the
+    assembled cover is globally optimal and the reported
+    ``gap_bound`` is a certified ``0.0``.
+
+    *Certificate.*  Write ``m(a, b) = Δ(a, b) − Γ(a, b)`` (the Lemma
+    3.2 margin; the batch predicate prunes a subset ``S`` at pivot
+    ``p`` when ``Σ_{i∈S∖{p}} m(i, p) ≥ −tol``).  Let ``neg_in(a)`` be
+    the total negative margin between ``a`` and its own cluster,
+    ``Σ_{b∈cluster(a)∖{a}} max(0, −m(a, b))``.  If for every arc ``a``
+    and every other-cluster arc ``b`` either
+
+    - the pair ``{a, b}`` is Theorem 3.2 (bandwidth) pair-pruned — any
+      superset is then bandwidth-pruned too, because adding members
+      only grows the trunk total while the threshold's ``min`` term
+      can only shrink — or
+    - ``m(a, b) ≥ neg_in(a) + tol``,
+
+    then any subset ``S`` spanning two clusters is Lemma 3.2 pruned at
+    any of its own pivots ``a``: the (≥ 1) cross terms each contribute
+    at least ``neg_in(a)`` while the same-cluster terms subtract at
+    most ``neg_in(a)``, so the pivot sum is nonnegative.  Clusters
+    start as the connected components of the pair-mergeability graph
+    and are coarsened (violating clusters merged) until the
+    certificate holds — in the worst case collapsing to one cluster,
+    i.e. the exact pipeline.
+
+    ``max_cluster_arcs`` additionally *force-splits* oversized
+    clusters along spatial median cuts.  Forced cuts break the
+    certificate, so the boundary-merging **stitch pass** re-prices the
+    2-way candidates crossing each cut (higher-arity cross-cut subsets
+    stay unexplored) and the result reports ``certified=False`` with
+    ``gap_bound=None`` — honest, not silently suboptimal.
+
+**Lazy column generation** (``strategy="colgen"``)
+    Enumerate the pruning survivors (vectorized, cheap) but plan
+    placements — the expensive part — on demand: seed the restricted
+    master LP with the point-to-point columns, read row duals ``y``
+    off :func:`scipy.optimize.linprog`, and plan only survivors whose
+    dual payoff ``Σ_{a∈S} y_a`` exceeds a *sound lower bound* on their
+    plan cost (cheapest mux + demux, plus the best stage cost of the
+    longest member arc over a third of its length — any merged route
+    for that arc splits into feeder/trunk/distributor whose lengths
+    sum to at least ``d(a)``).  When pricing converges the duals are
+    feasible for the covering LP over the *full* candidate universe,
+    so ``Σ_r y_r`` certifies the optimality gap of the final integral
+    cover; when every survivor has been planned or dominated away the
+    result is exact and ``gap_bound`` is a certified ``0.0``.
+
+Both strategies return a normal :class:`~repro.core.synthesis.
+SynthesisResult` with the extra ``decomposition`` report attached.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..covering.bnb import greedy_cover, solve_cover
+from ..covering.colgen import solve_master_lp
+from ..covering.ilp import solve_ilp
+from ..covering.matrix import Column, CoverSolution, CoveringProblem
+from ..obs import current_tracer
+from ..runtime.budget import BudgetTracker, as_tracker
+from ..runtime.checkpoint import CheckpointJournal
+from ..runtime.report import DegradationReport, ResultQuality, StageAttempt
+from .candidates import (
+    Candidate,
+    CandidateSet,
+    GenerationStats,
+    _prune_arity,
+    generate_candidates,
+)
+from .constraint_graph import ConstraintGraph
+from .exceptions import BudgetExceeded, InfeasibleError
+from .library import CommunicationLibrary, NodeKind
+from .matrices import ArcMatrices, compute_matrices
+from .merging import build_merging_plan, stage_cost
+from .pruning import PRUNE_TOL
+from .synthesis import (
+    SynthesisResult,
+    SynthesisOptions,
+    build_covering_problem,
+    materialize_selection,
+    _replay_solution,
+)
+from .validation import validate
+
+__all__ = [
+    "DecompositionReport",
+    "certified_partition",
+    "merging_cost_lower_bound",
+    "synthesize_decomposed",
+    "synthesize_colgen",
+]
+
+#: per-cluster worker pools only pay off past this many arcs; smaller
+#: clusters plan in-process even when ``options.jobs`` asks for a pool.
+MIN_CLUSTER_ARCS_FOR_POOL = 12
+
+#: colgen plans at most this many priced-out columns per master round,
+#: so the duals are re-read often enough to steer the search.
+COLGEN_ROUND_CAP = 256
+
+#: when at most this many survivors exist overall, colgen finishes with
+#: a completion sweep (plan everything not dominated) — the universe is
+#: then provably complete and the result exact with a certified 0 gap.
+COLGEN_EXHAUSTIVE_SURVIVORS = 512
+
+#: relative pricing tolerance: a survivor is only planned when its dual
+#: payoff beats its cost lower bound by more than this slack.
+_PRICE_RTOL = 1e-7
+
+#: the native B&B's per-node dominance reductions are quadratic in
+#: matrix size, so past this many columns the LP-relaxation ILP engine
+#: is orders of magnitude faster on covering instances (their root
+#: relaxations are usually integral) — and equally exact.  Engine
+#: choice only; the optimum is the same either way.
+ILP_CUTOVER_COLUMNS = 192
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DecompositionReport:
+    """What the decompose/colgen strategy did, and what it certifies.
+
+    ``gap_bound`` is an upper bound on ``total_cost − OPT``:
+    ``0.0`` with ``certified=True`` means provably optimal (the
+    decomposition certificate held, or colgen exhausted its survivor
+    universe); a positive certified value comes from colgen's LP dual
+    bound; ``None`` means no sound bound is available (forced splits,
+    budget truncation) — never a silent claim.
+    """
+
+    strategy: str
+    n_clusters: int = 1
+    cluster_sizes: List[int] = field(default_factory=list)
+    coarsening_rounds: int = 0
+    forced_splits: int = 0
+    #: cross-cluster arc pairs certified useless (bandwidth or margin).
+    boundary_pairs_pruned: int = 0
+    #: cross-cut pairs re-priced (planned) by the stitch pass.
+    boundary_pairs_stitched: int = 0
+    gap_bound: Optional[float] = None
+    certified: bool = False
+    # --- colgen bookkeeping ---
+    pricing_rounds: int = 0
+    survivors_total: int = 0
+    columns_planned: int = 0
+    columns_skipped_dominated: int = 0
+    #: Σ_r y_r of the last converged master LP — a lower bound on the
+    #: optimum over the full candidate universe (colgen only).
+    lp_bound: Optional[float] = None
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (deterministic: no wall-clock content)."""
+        return {
+            "strategy": self.strategy,
+            "n_clusters": self.n_clusters,
+            "cluster_sizes": list(self.cluster_sizes),
+            "coarsening_rounds": self.coarsening_rounds,
+            "forced_splits": self.forced_splits,
+            "boundary_pairs_pruned": self.boundary_pairs_pruned,
+            "boundary_pairs_stitched": self.boundary_pairs_stitched,
+            "gap_bound": self.gap_bound,
+            "certified": self.certified,
+            "pricing_rounds": self.pricing_rounds,
+            "survivors_total": self.survivors_total,
+            "columns_planned": self.columns_planned,
+            "columns_skipped_dominated": self.columns_skipped_dominated,
+            "lp_bound": self.lp_bound,
+            "notes": list(self.notes),
+        }
+
+
+# ----------------------------------------------------------------------
+# partitioning + certificate
+# ----------------------------------------------------------------------
+
+
+def _pair_matrices(
+    matrices: ArcMatrices, library: CommunicationLibrary
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(margin, bw_pruned)`` over all arc pairs.
+
+    ``margin[i, j] = Δ(i, j) − Γ(i, j)`` (Lemma 3.1 pair-prunes when it
+    is ≥ −tol); ``bw_pruned[i, j]`` is the Theorem 3.2 pair verdict
+    with the same keep-favouring tolerance as the batch predicate.
+    """
+    margin = matrices.delta - matrices.gamma
+    b = matrices.bandwidth
+    total = b[:, None] + b[None, :]
+    threshold = library.max_link_bandwidth() + np.minimum(b[:, None], b[None, :])
+    scale = np.maximum(1.0, np.maximum(np.abs(total), np.abs(threshold)))
+    bw_pruned = (total >= threshold + PRUNE_TOL * scale) | (total == threshold)
+    return margin, bw_pruned
+
+
+def _components(n: int, mergeable: np.ndarray) -> np.ndarray:
+    """Connected-component labels of the pair-mergeability graph.
+
+    Labels are canonicalized to the smallest member index, so the
+    partition is deterministic regardless of union order.
+    """
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    rows, cols = np.nonzero(np.triu(mergeable, 1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+    return np.array([find(i) for i in range(n)], dtype=int)
+
+
+def certified_partition(
+    matrices: ArcMatrices, library: CommunicationLibrary
+) -> Tuple[np.ndarray, int, int]:
+    """Partition arcs so every cluster-spanning subset is certifiably
+    pruned; returns ``(labels, coarsening_rounds, boundary_pairs)``.
+
+    Starts from the connected components of the pair-mergeability graph
+    (pairs neither Lemma 3.1 nor Theorem 3.2 pruned) and merges
+    clusters violating the module-level certificate until it holds.
+    Terminates in at most ``n`` rounds (each merges ≥ 2 clusters); a
+    single surviving cluster degenerates to the exact pipeline and is
+    trivially certified.
+    """
+    n = matrices.size
+    margin, bw_pruned = _pair_matrices(matrices, library)
+    geo_pair_pruned = margin >= -PRUNE_TOL * np.maximum(
+        1.0, np.maximum(np.abs(matrices.gamma), np.abs(matrices.delta))
+    )
+    mergeable = ~(geo_pair_pruned | bw_pruned)
+    np.fill_diagonal(mergeable, False)
+    labels = _components(n, mergeable)
+
+    neg = np.maximum(0.0, -margin)
+    rounds = 0
+    while True:
+        same = labels[:, None] == labels[None, :]
+        neg_in = (neg * same).sum(axis=1) - np.diagonal(neg)
+        # certificate per cross pair: bandwidth-pruned, or margin beats
+        # the pivot's in-cluster negative mass with tolerance to spare
+        scale = np.maximum(1.0, np.maximum(np.abs(margin), neg_in[:, None]))
+        safe = bw_pruned | (margin >= neg_in[:, None] + PRUNE_TOL * scale)
+        viol_rows, viol_cols = np.nonzero(~same & ~safe)
+        if viol_rows.size == 0:
+            break
+        rounds += 1
+        merged = mergeable.copy()
+        merged[viol_rows, viol_cols] = True
+        merged[viol_cols, viol_rows] = True
+        mergeable = merged
+        labels = _components(n, mergeable)
+
+    same = labels[:, None] == labels[None, :]
+    boundary_pairs = int(np.count_nonzero(np.triu(~same, 1)))
+    return labels, rounds, boundary_pairs
+
+
+def _force_split(
+    graph: ConstraintGraph,
+    matrices: ArcMatrices,
+    labels: np.ndarray,
+    max_cluster_arcs: int,
+) -> Tuple[np.ndarray, int]:
+    """Spatially bisect clusters larger than ``max_cluster_arcs``.
+
+    Each oversized cluster is split at the median arc midpoint along
+    its wider axis, recursively.  Returns new labels plus the number of
+    cuts made (0 ⇒ the certificate still stands).
+    """
+    mids = np.empty((matrices.size, 2), dtype=float)
+    for i, name in enumerate(matrices.arc_names):
+        arc = graph.arc(name)
+        mids[i, 0] = (arc.source.position.x + arc.target.position.x) / 2.0
+        mids[i, 1] = (arc.source.position.y + arc.target.position.y) / 2.0
+
+    out = labels.copy()
+    cuts = 0
+    next_label = int(labels.max()) + 1
+    stack = [np.nonzero(labels == lab)[0] for lab in np.unique(labels)]
+    while stack:
+        idxs = stack.pop()
+        if idxs.size <= max_cluster_arcs:
+            continue
+        pts = mids[idxs]
+        extents = pts.max(axis=0) - pts.min(axis=0)
+        axis = int(np.argmax(extents))
+        order = idxs[np.lexsort((idxs, pts[:, axis]))]
+        half = order.size // 2
+        out[order[half:]] = next_label
+        next_label += 1
+        cuts += 1
+        stack.append(order[:half])
+        stack.append(order[half:])
+    return out, cuts
+
+
+def _clusters_from_labels(labels: np.ndarray) -> List[List[int]]:
+    """Index groups ordered by their smallest member (deterministic)."""
+    groups: Dict[int, List[int]] = {}
+    for i, lab in enumerate(labels.tolist()):
+        groups.setdefault(lab, []).append(i)
+    return sorted(groups.values(), key=lambda g: g[0])
+
+
+# ----------------------------------------------------------------------
+# shared result assembly
+# ----------------------------------------------------------------------
+
+
+def _merge_stats(master: GenerationStats, part: GenerationStats) -> None:
+    """Fold one cluster's generation stats into the aggregate."""
+    master.subsets_enumerated += part.subsets_enumerated
+    master.pruned_geometric += part.pruned_geometric
+    master.pruned_bandwidth += part.pruned_bandwidth
+    master.pruned_apriori += part.pruned_apriori
+    master.pruned_hops += part.pruned_hops
+    master.infeasible_plans += part.infeasible_plans
+    master.budget_truncated = master.budget_truncated or part.budget_truncated
+    for k, v in part.survivors_by_k.items():
+        master.survivors_by_k[k] = master.survivors_by_k.get(k, 0) + v
+    for k, v in part.pruning_survivors_by_k.items():
+        master.pruning_survivors_by_k[k] = master.pruning_survivors_by_k.get(k, 0) + v
+    master.retired_at_k.update(part.retired_at_k)
+    master.worker_recoveries += part.worker_recoveries
+    master.chunks_replayed += part.chunks_replayed
+    master.effective_jobs = max(master.effective_jobs, part.effective_jobs)
+
+
+def _solve_exact(
+    problem: CoveringProblem,
+    options: SynthesisOptions,
+    tracker: Optional[BudgetTracker],
+    degraded: List[StageAttempt],
+    stage: str,
+) -> Tuple[CoverSolution, bool]:
+    """One exact covering solve with honest budget degradation.
+
+    Returns ``(solution, degraded_flag)``.  On :class:`BudgetExceeded`
+    with ``on_budget_exhausted="degrade"`` the best incumbent (or a
+    greedy cover) is served and recorded in ``degraded``; with
+    ``"fail"`` the exception propagates.
+    """
+    use_ilp = (
+        options.ucp_solver == "ilp" or problem.n_columns >= ILP_CUTOVER_COLUMNS
+    )
+    try:
+        if use_ilp:
+            return solve_ilp(problem, budget=tracker), False
+        return solve_cover(problem, options.solver_options, budget=tracker), False
+    except BudgetExceeded as exc:
+        if options.on_budget_exhausted == "fail":
+            raise
+        if exc.partial is not None:
+            degraded.append(
+                StageAttempt(stage, 1, "budget-incumbent", detail=str(exc))
+            )
+            return exc.partial, True
+        degraded.append(StageAttempt(stage, 1, "budget-greedy", detail=str(exc)))
+        return greedy_cover(problem), True
+
+
+def _finish(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    candidates: CandidateSet,
+    covering: CoveringProblem,
+    cover: CoverSolution,
+    report: Optional[DegradationReport],
+    decomposition: DecompositionReport,
+    journal: Optional[CheckpointJournal],
+    replayed: bool,
+    start: float,
+) -> SynthesisResult:
+    """Materialize/validate/assemble — the shared tail of both strategies."""
+    tracer = current_tracer()
+    if journal is not None and not replayed:
+        journal.record_solution(
+            stage=decomposition.strategy,
+            column_names=cover.column_names,
+            weight=cover.weight,
+            optimal=cover.optimal,
+            quality=report.quality.value if report is not None else None,
+        )
+    by_label = {c.label(): c for c in candidates.all}
+    selected = [by_label[name] for name in cover.column_names]
+    tracer.count("synthesis.selected", len(selected))
+    with tracer.span("materialize", selected=len(selected)):
+        impl = materialize_selection(graph, library, selected, name=f"{graph.name}-impl")
+    if options.validate_result:
+        with tracer.span("validate"):
+            validate(impl, graph)
+    elapsed = time.perf_counter() - start
+    if report is not None:
+        report.elapsed_s = elapsed
+        report.worker_recoveries = candidates.stats.worker_recoveries
+        report.chunks_replayed = candidates.stats.chunks_replayed
+    return SynthesisResult(
+        implementation=impl,
+        selected=selected,
+        total_cost=cover.weight,
+        candidates=candidates,
+        covering=covering,
+        cover=cover,
+        point_to_point_cost=sum(c.cost for c in candidates.point_to_point),
+        elapsed_seconds=elapsed,
+        degradation=report,
+        decomposition=decomposition,
+    )
+
+
+def _degradation_report(
+    tracker: Optional[BudgetTracker],
+    stage: str,
+    attempts: List[StageAttempt],
+    degraded: bool,
+    stats: GenerationStats,
+) -> Optional[DegradationReport]:
+    """The audit trail of a supervised (budgeted) strategy run."""
+    if tracker is None:
+        return None
+    if degraded:
+        quality = ResultQuality.FEASIBLE_SUBOPTIMAL
+    elif stats.budget_truncated:
+        quality = ResultQuality.FEASIBLE_SUBOPTIMAL
+    else:
+        quality = ResultQuality.OPTIMAL
+    if not attempts:
+        attempts = [StageAttempt(stage, 1, "ok")]
+    return DegradationReport(
+        quality=quality,
+        source_stage=stage,
+        attempts=attempts,
+        budget_exhausted=degraded or stats.budget_truncated,
+        candidate_generation_truncated=stats.budget_truncated,
+        deadline_s=tracker.budget.deadline_s,
+        nodes_used=tracker.nodes_used,
+    )
+
+
+# ----------------------------------------------------------------------
+# strategy: decompose
+# ----------------------------------------------------------------------
+
+
+def synthesize_decomposed(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    tracker: Optional[BudgetTracker],
+    journal: Optional[CheckpointJournal],
+    start: float,
+) -> SynthesisResult:
+    """The ``strategy="decompose"`` pipeline (see the module docstring).
+
+    Per-cluster candidate generation reuses :func:`generate_candidates`
+    wholesale — including the self-healing worker pool (clusters of at
+    least :data:`MIN_CLUSTER_ARCS_FOR_POOL` arcs when ``options.jobs``
+    asks for one), budget checkpoints, and journal chunk replay (chunk
+    keys carry a group digest, so per-cluster records never collide).
+    The per-component covering solves run under the same budget; on
+    exhaustion each remaining component degrades to its best incumbent
+    or a greedy cover instead of failing (``on_budget_exhausted``).
+    """
+    tracer = current_tracer()
+    arcs = graph.arcs
+    n = len(arcs)
+    with tracer.span("decompose", arcs=n):
+        matrices = compute_matrices(graph)
+        with tracer.span("decompose.partition"):
+            natural_labels, rounds, boundary_pairs = certified_partition(matrices, library)
+        labels, forced = natural_labels, 0
+        if options.max_cluster_arcs is not None:
+            labels, forced = _force_split(
+                graph, matrices, natural_labels, options.max_cluster_arcs
+            )
+        clusters = _clusters_from_labels(labels)
+        tracer.gauge("decompose.clusters", float(len(clusters)))
+        tracer.count("decompose.coarsening_rounds", rounds)
+        decomposition = DecompositionReport(
+            strategy="decompose",
+            n_clusters=len(clusters),
+            cluster_sizes=[len(c) for c in clusters],
+            coarsening_rounds=rounds,
+            forced_splits=forced,
+            boundary_pairs_pruned=boundary_pairs,
+        )
+
+        master = GenerationStats()
+        p2p_by_arc: Dict[str, Candidate] = {}
+        mergings: List[Candidate] = []
+        attempts: List[StageAttempt] = []
+        for ci, idxs in enumerate(clusters):
+            names = [matrices.arc_names[i] for i in idxs]
+            sub = graph.subgraph(names)
+            cluster_jobs = (
+                options.jobs
+                if options.jobs is not None and len(names) >= MIN_CLUSTER_ARCS_FOR_POOL
+                else None
+            )
+            with tracer.span("decompose.cluster", index=ci, arcs=len(names)):
+                try:
+                    cs = generate_candidates(
+                        sub,
+                        library,
+                        pruning=options.pruning,
+                        max_arity=options.max_arity,
+                        drop_dominated=options.drop_dominated,
+                        heterogeneous=options.heterogeneous,
+                        max_merge_hops=options.max_merge_hops,
+                        polish_placement=options.polish_placement,
+                        hop_penalty=options.hop_penalty,
+                        budget=tracker,
+                        jobs=cluster_jobs,
+                        journal=journal,
+                    )
+                except BudgetExceeded:
+                    # The budget died inside this cluster's (mandatory)
+                    # point-to-point pass.  With no cluster finished yet
+                    # nothing is servable — same as the exact pipeline,
+                    # raise.  Otherwise feasibility needs a p2p plan per
+                    # remaining arc; they are cheap (one plan each), so
+                    # in degrade mode finish the remaining clusters
+                    # p2p-only off-budget rather than serving nothing.
+                    if ci == 0 or options.on_budget_exhausted == "fail":
+                        raise
+                    master.budget_truncated = True
+                    attempts.append(
+                        StageAttempt(
+                            "decompose.generate", 1, "budget-p2p-only",
+                            detail=f"cluster {ci} of {len(clusters)}",
+                        )
+                    )
+                    cs = generate_candidates(
+                        sub,
+                        library,
+                        pruning=options.pruning,
+                        max_arity=1,
+                        heterogeneous=options.heterogeneous,
+                        polish_placement=options.polish_placement,
+                        hop_penalty=options.hop_penalty,
+                    )
+            _merge_stats(master, cs.stats)
+            for c in cs.point_to_point:
+                p2p_by_arc[c.arc_names[0]] = c
+            mergings.extend(cs.mergings)
+
+        if forced:
+            with tracer.span("decompose.stitch"):
+                stitched = _stitch_pass(
+                    graph, library, options, matrices, natural_labels, labels,
+                    p2p_by_arc, decomposition,
+                )
+            mergings.extend(stitched)
+            decomposition.certified = False
+            decomposition.gap_bound = None
+            decomposition.notes.append(
+                f"{forced} forced cut(s): cross-cut candidates beyond arity 2 "
+                f"were not explored; no sound gap bound is available"
+            )
+        else:
+            decomposition.certified = not master.budget_truncated
+            decomposition.gap_bound = 0.0 if decomposition.certified else None
+            if master.budget_truncated:
+                decomposition.notes.append(
+                    "budget truncated candidate generation; certificate void"
+                )
+
+        point_to_point = [p2p_by_arc[a.name] for a in arcs]
+        candidates = CandidateSet(
+            point_to_point=point_to_point, mergings=mergings, stats=master
+        )
+        with tracer.span("covering.build"):
+            covering = build_covering_problem(graph, candidates)
+        tracer.gauge("covering.rows", covering.n_rows)
+        tracer.gauge("covering.columns", covering.n_columns)
+
+        replayed = _replay_solution(journal, covering)
+        degraded = False
+        if replayed is not None:
+            cover = replayed
+            tracer.count("checkpoint.solution_replayed")
+        else:
+            with tracer.span("covering.solve", components=0):
+                cover, degraded = _solve_components(
+                    graph, natural_labels, matrices, candidates, covering,
+                    options, tracker, attempts,
+                )
+        if degraded:
+            decomposition.certified = False
+            decomposition.gap_bound = None
+            decomposition.notes.append("covering solve degraded under budget")
+
+        report = _degradation_report(tracker, "decompose", attempts, degraded, master)
+        return _finish(
+            graph, library, options, candidates, covering, cover, report,
+            decomposition, journal, replayed is not None, start,
+        )
+
+
+def _stitch_pass(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    matrices: ArcMatrices,
+    natural_labels: np.ndarray,
+    labels: np.ndarray,
+    p2p_by_arc: Dict[str, Candidate],
+    decomposition: DecompositionReport,
+) -> List[Candidate]:
+    """Re-price the 2-way candidates severed by forced cuts.
+
+    A forced cut separates arcs of one *natural* (certificate-backed)
+    cluster, so pairs across it are not certified useless.  Every such
+    pair that survives the pair predicates is planned and offered to
+    the covering step; dominated plans (no cheaper than the two
+    singletons) are dropped on the spot.
+    """
+    tracer = current_tracer()
+    margin, bw_pruned = _pair_matrices(matrices, library)
+    geo_pair_pruned = margin >= -PRUNE_TOL * np.maximum(
+        1.0, np.maximum(np.abs(matrices.gamma), np.abs(matrices.delta))
+    )
+    cut = (natural_labels[:, None] == natural_labels[None, :]) & (
+        labels[:, None] != labels[None, :]
+    )
+    candidates: List[Candidate] = []
+    rows, cols = np.nonzero(np.triu(cut & ~geo_pair_pruned & ~bw_pruned, 1))
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        names = [matrices.arc_names[i], matrices.arc_names[j]]
+        plan = build_merging_plan(
+            graph, names, library, polish_placement=options.polish_placement
+        )
+        tracer.count("decompose.stitch.planned")
+        if plan is None:
+            continue
+        if options.max_merge_hops is not None and plan.max_hops > options.max_merge_hops:
+            continue
+        cost = plan.cost + options.hop_penalty * plan.max_hops
+        if cost >= sum(p2p_by_arc[a].cost for a in names) - 1e-12:
+            continue
+        decomposition.boundary_pairs_stitched += 1
+        candidates.append(Candidate(arc_names=plan.arc_names, cost=cost, plan=plan))
+    return candidates
+
+
+def _solve_components(
+    graph: ConstraintGraph,
+    natural_labels: np.ndarray,
+    matrices: ArcMatrices,
+    candidates: CandidateSet,
+    covering: CoveringProblem,
+    options: SynthesisOptions,
+    tracker: Optional[BudgetTracker],
+    attempts: List[StageAttempt],
+) -> Tuple[CoverSolution, bool]:
+    """Solve one covering instance per natural component and reassemble.
+
+    The certificate guarantees no candidate spans natural components,
+    so the global UCP is block-diagonal and the per-block optima
+    compose into the global optimum (a fact checked at assembly:
+    ``check_solution`` re-verifies feasibility and weight).
+    """
+    tracer = current_tracer()
+    arc_component = {
+        matrices.arc_names[i]: int(natural_labels[i]) for i in range(matrices.size)
+    }
+    blocks: Dict[int, List[str]] = {}
+    for arc in graph.arcs:
+        blocks.setdefault(arc_component[arc.name], []).append(arc.name)
+    columns_by_block: Dict[int, List[Column]] = {lab: [] for lab in blocks}
+    for cand in candidates.all:
+        lab = arc_component[cand.arc_names[0]]
+        columns_by_block[lab].append(
+            Column(name=cand.label(), rows=frozenset(cand.arc_names), weight=cand.cost)
+        )
+
+    selected: List[str] = []
+    total = 0.0
+    optimal = True
+    degraded_any = False
+    for lab in sorted(blocks, key=lambda l: blocks[l][0]):
+        problem = CoveringProblem(blocks[lab], columns_by_block[lab])
+        with tracer.span(
+            "decompose.solve", component=lab, rows=problem.n_rows,
+            columns=problem.n_columns,
+        ):
+            solution, degraded = _solve_exact(
+                problem, options, tracker, attempts, "decompose.solve"
+            )
+        selected.extend(solution.column_names)
+        total += solution.weight
+        optimal = optimal and solution.optimal
+        degraded_any = degraded_any or degraded
+    assembled = CoverSolution(
+        column_names=tuple(selected), weight=total,
+        optimal=optimal and not degraded_any,
+        stats={"components": len(blocks)},
+    )
+    covering.check_solution(assembled)
+    return assembled, degraded_any
+
+
+# ----------------------------------------------------------------------
+# strategy: colgen
+# ----------------------------------------------------------------------
+
+
+def merging_cost_lower_bound(
+    subset: Sequence[int],
+    third_costs: np.ndarray,
+    node_floor: float,
+) -> float:
+    """A sound lower bound on any merging plan's cost for ``subset``.
+
+    The plan pays at least one mux and one demux, and for each member
+    arc its feeder + trunk + distributor lengths sum to ≥ ``d(a)``
+    (the norm is a metric), with each stage costing at least the
+    single-arc stage cost at that bandwidth (stage costs are monotone
+    in bandwidth and length under Assumption 2.1) — so some stage of
+    the longest member costs at least ``stage_cost(b_a)(d(a)/3)``.
+    """
+    best = 0.0
+    for i in subset:
+        if third_costs[i] > best:
+            best = third_costs[i]
+    return node_floor + best
+
+
+def synthesize_colgen(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    tracker: Optional[BudgetTracker],
+    journal: Optional[CheckpointJournal],
+    start: float,
+) -> SynthesisResult:
+    """The ``strategy="colgen"`` pipeline (see the module docstring).
+
+    Placement planning — the expensive half of candidate generation —
+    runs only for survivors the master LP's duals price out as
+    potentially profitable, plus a completion sweep on small universes
+    that restores full exactness.  ``options.jobs`` is ignored here
+    (priced-out batches are small by construction).
+    """
+    tracer = current_tracer()
+    arcs = graph.arcs
+    n = len(arcs)
+    ck = as_tracker(tracker)
+    with tracer.span("colgen", arcs=n):
+        base = generate_candidates(
+            graph,
+            library,
+            pruning=options.pruning,
+            max_arity=1,
+            heterogeneous=options.heterogeneous,
+            polish_placement=options.polish_placement,
+            hop_penalty=options.hop_penalty,
+            budget=tracker,
+        )
+        stats = base.stats
+        decomposition = DecompositionReport(strategy="colgen")
+
+        with tracer.span("colgen.enumerate"):
+            survivors, arity_cap = _pruned_survivors(
+                graph, library, options, stats, ck
+            )
+        decomposition.survivors_total = len(survivors)
+        if arity_cap is not None:
+            decomposition.notes.append(
+                f"survivor enumeration capped below arity {arity_cap} "
+                f"(subset valve) — unexplored higher-arity columns void "
+                f"the gap certificate; set max_arity for a bounded-exact run"
+            )
+        tracer.gauge("colgen.survivors", float(len(survivors)))
+
+        p2p_w = {a.name: c.cost for a, c in zip(arcs, base.point_to_point)}
+        mux = library.cheapest_node(NodeKind.MUX)
+        demux = library.cheapest_node(NodeKind.DEMUX)
+        mergeable_at_all = mux is not None and demux is not None
+        node_floor = (mux.cost if mux else 0.0) + (demux.cost if demux else 0.0)
+        third_costs = np.array(
+            [stage_cost(a.bandwidth, library)(a.distance / 3.0) for a in arcs]
+        )
+
+        names = tuple(a.name for a in arcs)
+        remaining: List[Tuple[Tuple[int, ...], float]] = []
+        for subset in survivors:
+            lb = merging_cost_lower_bound(subset, third_costs, node_floor)
+            if not mergeable_at_all:
+                stats.infeasible_plans += 1
+                continue
+            if lb >= sum(p2p_w[names[i]] for i in subset) - 1e-12:
+                # no plan can beat the member singletons: excluding the
+                # column provably preserves the optimal cover weight
+                decomposition.columns_skipped_dominated += 1
+                tracer.count("colgen.skipped.dominated")
+                continue
+            remaining.append((subset, lb))
+
+        planned: List[Candidate] = []
+        duals: Optional[np.ndarray] = None
+        lp_failed = False
+        truncated = stats.budget_truncated
+        while remaining and not truncated:
+            try:
+                ck.checkpoint("colgen.round", force=True)
+            except BudgetExceeded:
+                if options.on_budget_exhausted == "fail":
+                    raise
+                truncated = True
+                break
+            decomposition.pricing_rounds += 1
+            with tracer.span("colgen.master", columns=n + len(planned)):
+                master = solve_master_lp(
+                    rows=names,
+                    columns=_colgen_columns(names, base, planned),
+                )
+            if master is None:
+                lp_failed = True
+                break
+            duals = master.duals
+            priced = []
+            for subset, lb in remaining:
+                payoff = float(sum(duals[i] for i in subset))
+                slack = payoff - lb
+                if slack > _PRICE_RTOL * max(1.0, abs(lb)):
+                    priced.append((-slack, subset, lb))
+            if not priced:
+                decomposition.lp_bound = master.objective
+                break
+            priced.sort(key=lambda t: (t[0], t[1]))
+            batch = priced[:COLGEN_ROUND_CAP]
+            tracer.count("colgen.priced", len(batch))
+            batch_sets = {subset for _, subset, _ in batch}
+            try:
+                for _, subset, _ in batch:
+                    ck.checkpoint("candidates.plan")
+                    _plan_survivor(
+                        graph, library, options, names, subset, p2p_w, planned, stats,
+                        decomposition,
+                    )
+            except BudgetExceeded:
+                if options.on_budget_exhausted == "fail":
+                    raise
+                truncated = True
+            remaining = [(s, lb) for s, lb in remaining if s not in batch_sets]
+
+        exhausted_universe = False
+        if (
+            remaining
+            and not truncated
+            and decomposition.survivors_total <= COLGEN_EXHAUSTIVE_SURVIVORS
+        ):
+            # completion sweep: the universe is small — plan everything
+            # left so the final cover is exact, not just dual-bounded
+            with tracer.span("colgen.sweep", survivors=len(remaining)):
+                try:
+                    for subset, _ in remaining:
+                        ck.checkpoint("candidates.plan")
+                        _plan_survivor(
+                            graph, library, options, names, subset, p2p_w, planned,
+                            stats, decomposition,
+                        )
+                    remaining = []
+                except BudgetExceeded:
+                    if options.on_budget_exhausted == "fail":
+                        raise
+                    truncated = True
+        if not remaining and not truncated:
+            exhausted_universe = True
+
+        planned.sort(key=lambda c: (len(c.arc_names), c.arc_names))
+        stats.budget_truncated = stats.budget_truncated or truncated
+        candidates = CandidateSet(
+            point_to_point=base.point_to_point, mergings=planned, stats=stats
+        )
+        with tracer.span("covering.build"):
+            covering = build_covering_problem(graph, candidates)
+        tracer.gauge("covering.rows", covering.n_rows)
+        tracer.gauge("covering.columns", covering.n_columns)
+
+        attempts: List[StageAttempt] = []
+        replayed = _replay_solution(journal, covering)
+        degraded = False
+        if replayed is not None:
+            cover = replayed
+            tracer.count("checkpoint.solution_replayed")
+        else:
+            with tracer.span("covering.solve"):
+                cover, degraded = _solve_exact(
+                    covering, options, tracker, attempts, "colgen.solve"
+                )
+
+        if arity_cap is not None:
+            # the universe itself is incomplete: neither exhaustion nor
+            # the LP duals say anything about the unexplored arities
+            decomposition.certified = False
+            decomposition.gap_bound = None
+        elif exhausted_universe and not degraded:
+            # every survivor was planned or provably dominated — the
+            # candidate universe matches the exact pipeline's, so the
+            # integral optimum is the true optimum
+            decomposition.certified = True
+            decomposition.gap_bound = 0.0
+        elif decomposition.lp_bound is not None and not lp_failed:
+            # pricing converged: the duals are feasible for the full-
+            # universe covering LP, so Σ y lower-bounds the optimum
+            decomposition.certified = True
+            decomposition.gap_bound = max(0.0, cover.weight - decomposition.lp_bound)
+        else:
+            decomposition.certified = False
+            decomposition.gap_bound = None
+            if lp_failed:
+                decomposition.notes.append("master LP failed; no dual bound")
+            if truncated:
+                decomposition.notes.append("budget truncated pricing")
+
+        report = _degradation_report(
+            tracker, "colgen", attempts, degraded or truncated, stats
+        )
+        return _finish(
+            graph, library, options, candidates, covering, cover, report,
+            decomposition, journal, replayed is not None, start,
+        )
+
+
+def _colgen_columns(
+    names: Tuple[str, ...], base: CandidateSet, planned: Sequence[Candidate]
+) -> List[Tuple[FrozenSet[str], float]]:
+    """The restricted master's columns as ``(rows, weight)`` pairs."""
+    cols = [
+        (frozenset(c.arc_names), c.cost) for c in base.point_to_point
+    ]
+    cols.extend((frozenset(c.arc_names), c.cost) for c in planned)
+    return cols
+
+
+def _plan_survivor(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    names: Tuple[str, ...],
+    subset: Tuple[int, ...],
+    p2p_w: Dict[str, float],
+    planned: List[Candidate],
+    stats: GenerationStats,
+    decomposition: DecompositionReport,
+) -> None:
+    """Plan one priced-out survivor and absorb it into the column pool."""
+    tracer = current_tracer()
+    group = [names[i] for i in subset]
+    plan = build_merging_plan(
+        graph, group, library, polish_placement=options.polish_placement
+    )
+    decomposition.columns_planned += 1
+    tracer.count("colgen.planned")
+    k = len(subset)
+    if plan is None:
+        stats.infeasible_plans += 1
+        return
+    if options.max_merge_hops is not None and plan.max_hops > options.max_merge_hops:
+        stats.pruned_hops += 1
+        return
+    cost = plan.cost + options.hop_penalty * plan.max_hops
+    if options.drop_dominated and cost >= sum(p2p_w[a] for a in group) - 1e-12:
+        return
+    stats.survivors_by_k[k] = stats.survivors_by_k.get(k, 0) + 1
+    planned.append(Candidate(arc_names=plan.arc_names, cost=cost, plan=plan))
+
+
+def _pruned_survivors(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    stats: GenerationStats,
+    tracker: BudgetTracker,
+) -> Tuple[List[Tuple[int, ...]], Optional[int]]:
+    """The pruning-pass survivors over all arities, *without* planning.
+
+    Mirrors the exact enumeration loop exactly — same
+    :func:`_prune_arity` batches, same Theorem 3.1 retirement (which
+    the exact loop also derives from *pruning* survivors, so the
+    survivor universe here equals the exact pipeline's).
+
+    Where the exact pipeline *refuses* an unbounded-arity instance
+    whose subset count blows the enumeration valve
+    (:data:`~repro.core.candidates.MAX_ENUMERATED_SUBSETS`), colgen
+    caps the universe at the last fully enumerated arity and keeps
+    going: the second return value is the arity the valve tripped at
+    (``None`` when the universe is complete).  A capped universe voids
+    every gap certificate downstream — the LP duals were never checked
+    against the unexplored higher-arity columns.
+    """
+    tracer = current_tracer()
+    matrices = compute_matrices(graph)
+    n = matrices.size
+    active: List[int] = list(range(n))
+    top = n if options.max_arity is None else min(options.max_arity, n)
+    max_bw = library.max_link_bandwidth()
+    names = matrices.arc_names
+
+    out: List[Tuple[int, ...]] = []
+    prev_survivors: Set[FrozenSet[int]] = set()
+    for k in range(2, top + 1):
+        if len(active) < k:
+            break
+        try:
+            with tracer.span("candidates.prune", k=k):
+                survivors_k = _prune_arity(
+                    matrices, active, k, options.pruning, prev_survivors, max_bw,
+                    stats, tracker,
+                )
+        except InfeasibleError:
+            # the valve trips mid-arity, so arity k is incomplete —
+            # drop its partial survivors and cap the universe below it
+            tracer.count("colgen.arity_capped")
+            return out, k
+        if survivors_k is None:
+            stats.budget_truncated = True
+            return out, None
+        stats.pruning_survivors_by_k[k] = len(survivors_k)
+        if not survivors_k:
+            break
+        out.extend(survivors_k)
+        in_some = {i for subset in survivors_k for i in subset}
+        for i in list(active):
+            if i not in in_some:
+                stats.retired_at_k[names[i]] = k
+                active.remove(i)
+                tracer.count("candidates.retired.theorem_3_1")
+        prev_survivors = {frozenset(s) for s in survivors_k}
+    return out, None

@@ -136,11 +136,22 @@ def weiszfeld(
     for iterations in range(1, _WEISZFELD_MAX_ITER + 1):
         num_x = num_y = den = 0.0
         for ax, ay, aw in zip(axs, ays, aws):
-            d = math.sqrt((ax - cx) ** 2 + (ay - cy) ** 2 + smoothing)
+            d2 = (ax - cx) ** 2 + (ay - cy) ** 2
+            if d2 == 0.0:
+                # An anchor coinciding with the current iterate exerts no
+                # directional pull (its gradient term is undefined); with
+                # only the smoothing in the denominator its huge coef
+                # would pin the iterate at the anchor — skip it instead,
+                # per the standard modified-Weiszfeld step.
+                continue
+            d = math.sqrt(d2 + smoothing)
             coef = aw / d
             num_x += coef * ax
             num_y += coef * ay
             den += coef
+        if den == 0.0:
+            # every anchor coincides with the iterate: nothing pulls
+            break
         nx = num_x / den
         ny = num_y / den
         moved = max(abs(nx - cx), abs(ny - cy))

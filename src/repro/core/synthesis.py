@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # circular at runtime: decompose builds on this module
+    from .decompose import DecompositionReport
 
 from ..covering.bnb import SolverOptions, solve_cover
 from ..covering.ilp import solve_ilp
@@ -38,12 +41,41 @@ from .point_to_point import materialize_plan
 from .validation import validate
 
 __all__ = [
+    "AUTO_COLGEN_MAX_ARCS",
+    "AUTO_EXACT_MAX_ARCS",
+    "STRATEGIES",
     "SynthesisOptions",
     "SynthesisResult",
     "build_covering_problem",
     "materialize_selection",
+    "resolve_strategy",
     "synthesize",
 ]
+
+#: the recognised values of ``SynthesisOptions.strategy``.
+STRATEGIES = ("auto", "exact", "decompose", "colgen")
+
+#: ``strategy="auto"`` keeps exhaustive enumeration up to this many
+#: arcs — the paper-scale regime, where exactness is cheap and every
+#: historical result stays byte-identical.
+AUTO_EXACT_MAX_ARCS = 16
+
+#: between the exact threshold and this, auto picks lazy column
+#: generation (single covering instance, planning on demand); above it,
+#: cluster decomposition (the instance is big enough that even the
+#: covering step wants splitting).
+AUTO_COLGEN_MAX_ARCS = 48
+
+
+def resolve_strategy(strategy: str, n_arcs: int) -> str:
+    """The concrete strategy a run will use (resolves ``"auto"``)."""
+    if strategy != "auto":
+        return strategy
+    if n_arcs <= AUTO_EXACT_MAX_ARCS:
+        return "exact"
+    if n_arcs <= AUTO_COLGEN_MAX_ARCS:
+        return "colgen"
+    return "decompose"
 
 
 @dataclass(frozen=True)
@@ -105,6 +137,22 @@ class SynthesisOptions:
     #: instead of hammering a shared resource in lockstep.  Execution
     #: knob only — it never changes what result is computed.
     retry: Optional["RetryPolicy"] = None
+    #: how to scale: ``"exact"`` enumerates every K-way subset (the
+    #: paper's algorithm), ``"decompose"`` partitions the arcs into
+    #: certified clusters and synthesizes them independently,
+    #: ``"colgen"`` plans merging placements lazily via LP pricing, and
+    #: ``"auto"`` (default) picks by instance size — exact at paper
+    #: scale, so small-instance results never change.  See
+    #: :mod:`repro.core.decompose` for the strategies' guarantees
+    #: (``result.decomposition`` reports a certified optimality-gap
+    #: bound).
+    strategy: str = "auto"
+    #: ``strategy="decompose"`` only: force-split certified clusters
+    #: larger than this many arcs along spatial median cuts.  Caps the
+    #: per-cluster enumeration cost, but voids the optimality
+    #: certificate (the stitch pass re-prices 2-way cross-cut
+    #: candidates; ``gap_bound`` becomes ``None``).
+    max_cluster_arcs: Optional[int] = None
 
 
 @dataclass
@@ -129,6 +177,10 @@ class SynthesisResult:
     #: requested): spans, counters and gauges, exportable via
     #: :mod:`repro.obs` (text summary, JSON metrics, Chrome trace).
     trace: Optional[Tracer] = None
+    #: what the scalable strategy did (None for exact runs): cluster
+    #: sizes, pricing rounds, and the certified optimality-gap bound.
+    #: See :class:`~repro.core.decompose.DecompositionReport`.
+    decomposition: Optional["DecompositionReport"] = None
 
     @property
     def savings(self) -> float:
@@ -240,6 +292,14 @@ def synthesize(
         raise SynthesisError("constraint graph has no arcs — nothing to synthesize")
     if options.ucp_solver not in ("bnb", "ilp"):
         raise SynthesisError(f"unknown ucp_solver {options.ucp_solver!r} (use 'bnb' or 'ilp')")
+    if options.strategy not in STRATEGIES:
+        raise SynthesisError(
+            f"unknown strategy {options.strategy!r} (use one of {', '.join(STRATEGIES)})"
+        )
+    if options.max_cluster_arcs is not None and options.max_cluster_arcs < 2:
+        raise SynthesisError(
+            f"max_cluster_arcs must be >= 2 or None, got {options.max_cluster_arcs}"
+        )
     library.validate()
 
     if trace is True:
@@ -337,10 +397,25 @@ def _synthesize_journaled(
     start: float,
 ) -> SynthesisResult:
     tracer = current_tracer()
+    strategy = resolve_strategy(options.strategy, len(graph))
     with tracer.span(
-        "synthesize", graph=graph.name, arcs=len(graph), solver=options.ucp_solver
+        "synthesize",
+        graph=graph.name,
+        arcs=len(graph),
+        solver=options.ucp_solver,
+        strategy=strategy,
     ) as root_span:
         tracker = as_tracker(budget) if budget is not None else None
+        if strategy != "exact":
+            # imported lazily: decompose builds on this module's types
+            from .decompose import synthesize_colgen, synthesize_decomposed
+
+            dispatch = (
+                synthesize_decomposed if strategy == "decompose" else synthesize_colgen
+            )
+            result = dispatch(graph, library, options, tracker, journal, start)
+            root_span.set("total_cost", result.total_cost)
+            return result
         candidates = generate_candidates(
             graph,
             library,

@@ -67,15 +67,28 @@ def greedy_cover(
             tracer.count("covering.greedy.iterations")
             best_name: Optional[str] = None
             best_ratio = -1.0
+            best_zero: Optional[Tuple[int, str]] = None
             for name in sorted(state.columns):
                 covered = len(state.active_rows_of(name))
                 if covered == 0:
                     continue
                 weight = problem.column(name).weight
-                ratio = covered / weight if weight > 0 else float("inf")
+                if weight <= 0.0:
+                    # Zero-weight columns are free and always taken first,
+                    # but their ratio is infinite — incomparable among
+                    # themselves.  Pin the tie-break to the lowest column
+                    # index so selection order never depends on iteration
+                    # order (serial and jobs=N must stay byte-identical).
+                    idx = problem.column_index(name)
+                    if best_zero is None or idx < best_zero[0]:
+                        best_zero = (idx, name)
+                    continue
+                ratio = covered / weight
                 if ratio > best_ratio:
                     best_ratio = ratio
                     best_name = name
+            if best_zero is not None:
+                best_name = best_zero[1]
             if best_name is None:
                 uncovered = ", ".join(sorted(state.rows))
                 raise InfeasibleError(
@@ -172,16 +185,26 @@ class _Search:
         """Most-covering-per-weight available column; None if all useless."""
         best_name: Optional[str] = None
         best_key: Tuple[float, int, str] = (-1.0, 0, "")
+        best_zero: Optional[Tuple[int, str]] = None
         for name in sorted(state.columns):
             covered = len(state.active_rows_of(name))
             if covered == 0:
                 continue
             weight = state.problem.column(name).weight
-            ratio = covered / weight if weight > 0 else float("inf")
+            if weight <= 0.0:
+                # same pinned tie-break as greedy_cover: lowest column
+                # index among the (infinite-ratio) zero-weight columns
+                idx = state.problem.column_index(name)
+                if best_zero is None or idx < best_zero[0]:
+                    best_zero = (idx, name)
+                continue
+            ratio = covered / weight
             key = (ratio, covered, name)
             if key > best_key:
                 best_key = key
                 best_name = name
+        if best_zero is not None:
+            return best_zero[1]
         return best_name
 
 

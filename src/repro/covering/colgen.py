@@ -1,0 +1,85 @@
+"""Restricted-master LP for lazy column generation.
+
+The colgen strategy (:mod:`repro.core.decompose`) needs one thing from
+the covering layer: given the columns planned *so far*, the optimal
+duals of the covering LP relaxation
+
+.. math::
+
+    \\min \\; \\sum_j c_j x_j \\quad \\text{s.t.} \\quad
+    \\sum_{j : r \\in S_j} x_j \\ge 1 \\;\\; \\forall r, \\quad x \\ge 0
+
+Row dual ``y_r`` prices arc ``r``'s coverage; a not-yet-planned
+candidate ``S`` is worth planning only when ``Σ_{r∈S} y_r`` exceeds a
+lower bound on its cost.  Two details carry the soundness of the final
+optimality-gap certificate:
+
+- variables are bounded **below only** (``x_j ≥ 0``).  Adding ``x_j ≤
+  1`` — harmless for the optimum of a covering LP — would introduce
+  upper-bound duals that break the dual-feasibility argument the gap
+  bound rests on (``Σ_{r∈S_j} y_r ≤ c_j`` must hold with the row duals
+  alone);
+- duals are read off HiGHS's ``ineqlin.marginals`` (``≤`` form, so
+  negated) and clipped at zero, guarding against the solver's
+  occasional ``-0.0``/epsilon-negative marginals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["MasterDuals", "solve_master_lp"]
+
+
+@dataclass(frozen=True)
+class MasterDuals:
+    """The LP relaxation's optimum and its row duals.
+
+    ``objective`` (= ``Σ_r duals[r]`` by strong duality) lower-bounds
+    every integral cover built from the *restricted* column pool — and,
+    once pricing finds no improving column, every cover over the full
+    candidate universe.
+    """
+
+    objective: float
+    #: one dual per row, in the row order given to :func:`solve_master_lp`.
+    duals: np.ndarray
+
+
+def solve_master_lp(
+    rows: Sequence[str],
+    columns: Sequence[Tuple[FrozenSet[str], float]],
+) -> Optional[MasterDuals]:
+    """Solve the covering LP relaxation; ``None`` if HiGHS fails.
+
+    ``columns`` are ``(covered_rows, weight)`` pairs.  The caller
+    guarantees feasibility (every row covered by some column — colgen
+    always seeds the point-to-point columns, one per row).
+    """
+    n_rows = len(rows)
+    n_cols = len(columns)
+    if n_rows == 0 or n_cols == 0:
+        return None
+    row_index = {name: i for i, name in enumerate(rows)}
+    # linprog speaks A_ub x <= b_ub: negate the >= 1 covering rows.
+    a_ub = np.zeros((n_rows, n_cols))
+    cost = np.empty(n_cols)
+    for j, (covered, weight) in enumerate(columns):
+        cost[j] = weight
+        for name in covered:
+            a_ub[row_index[name], j] = -1.0
+    res = linprog(
+        c=cost,
+        A_ub=a_ub,
+        b_ub=-np.ones(n_rows),
+        bounds=(0, None),
+        method="highs",
+    )
+    if not res.success or res.ineqlin is None:
+        return None
+    duals = np.maximum(0.0, -np.asarray(res.ineqlin.marginals, dtype=float))
+    return MasterDuals(objective=float(res.fun), duals=duals)

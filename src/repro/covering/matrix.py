@@ -90,6 +90,7 @@ class CoveringProblem:
         for c in columns:
             for r in c.rows:
                 self._cover_map[r].add(c.name)
+        self._column_index: Dict[str, int] = {c.name: i for i, c in enumerate(columns)}
 
     @classmethod
     def from_columns(cls, rows: Sequence[str], columns: Sequence[Column]) -> "CoveringProblem":
@@ -111,6 +112,15 @@ class CoveringProblem:
         """Column lookup by name."""
         try:
             return self._columns[name]
+        except KeyError:
+            raise CoveringError(f"unknown column {name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        """Declaration-order position of a column — the deterministic
+        tie-break key for otherwise-incomparable columns (e.g. several
+        zero-weight columns, whose cover-per-weight ratio is infinite)."""
+        try:
+            return self._column_index[name]
         except KeyError:
             raise CoveringError(f"unknown column {name!r}") from None
 

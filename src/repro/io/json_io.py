@@ -252,6 +252,7 @@ def synthesis_result_to_dict(result: SynthesisResult) -> Dict[str, Any]:
         "link_instances": len(impl.arcs),
         "elapsed_seconds": result.elapsed_seconds,
         "degradation": result.degradation.to_dict() if result.degradation else None,
+        "decomposition": result.decomposition.to_dict() if result.decomposition else None,
         "metrics": metrics_dict(result.trace) if result.trace is not None else None,
     }
 

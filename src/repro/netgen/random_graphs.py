@@ -52,6 +52,57 @@ def _add_random_arcs(
         i += 1
 
 
+def _add_clustered_arcs(
+    graph: ConstraintGraph,
+    rng: np.random.Generator,
+    n_arcs: int,
+    bandwidth_range: Tuple[float, float],
+    n_clusters: int,
+    ports_per_cluster: int,
+    intra_fraction: float,
+) -> None:
+    """``round(intra_fraction * n_arcs)`` arcs inside random clusters,
+    the remainder anywhere — communication locality, dialed directly."""
+    lo, hi = bandwidth_range
+    n_intra = round(intra_fraction * n_arcs)
+    max_intra_pairs = n_clusters * ports_per_cluster * (ports_per_cluster - 1)
+    if n_intra > max_intra_pairs:
+        raise ModelError(
+            f"cannot place {n_intra} intra-cluster arcs: only {max_intra_pairs} "
+            f"distinct within-cluster port pairs exist"
+        )
+    seen = set()
+    i = 0
+    attempts = 0
+    while i < n_intra:
+        attempts += 1
+        if attempts > 100 * n_intra + 1000:
+            raise ModelError("intra-cluster arc sampling failed to converge")
+        c = int(rng.integers(n_clusters))
+        u, v = rng.choice(ports_per_cluster, size=2, replace=False)
+        pair = (f"c{c}p{u}", f"c{c}p{v}")
+        if pair in seen:
+            continue
+        seen.add(pair)
+        bw = float(rng.uniform(lo, hi))
+        graph.add_channel(f"a{i + 1}", pair[0], pair[1], bandwidth=bw)
+        i += 1
+    ports = [p.name for p in graph.ports]
+    attempts = 0
+    while i < n_arcs:
+        attempts += 1
+        if attempts > 100 * n_arcs + 1000:
+            raise ModelError("arc sampling failed to converge")
+        u, v = rng.choice(len(ports), size=2, replace=False)
+        pair = (ports[u], ports[v])
+        if pair in seen:
+            continue
+        seen.add(pair)
+        bw = float(rng.uniform(lo, hi))
+        graph.add_channel(f"a{i + 1}", pair[0], pair[1], bandwidth=bw)
+        i += 1
+
+
 def clustered_graph(
     n_clusters: int = 2,
     ports_per_cluster: int = 3,
@@ -61,12 +112,22 @@ def clustered_graph(
     bandwidth_range: Tuple[float, float] = (10.0, 10.0),
     seed: int = 0,
     norm: Norm = EUCLIDEAN,
+    intra_fraction: Optional[float] = None,
 ) -> ConstraintGraph:
     """Tight clusters far apart — the paper's WAN regime.
 
     Cluster centers sit on a circle of radius ``separation``; ports
     scatter uniformly within ``cluster_spread`` of their center.
+
+    ``intra_fraction`` pins the fraction of arcs drawn *within* a
+    single cluster (the rest go anywhere); ``None`` (default) keeps the
+    historical behavior — arcs over uniformly random port pairs, which
+    at high cluster counts are almost all cross-cluster.  Scalability
+    benchmarks use high fractions so the instance has the dense-local /
+    sparse-global structure the decompose strategy targets.
     """
+    if intra_fraction is not None and not 0.0 <= intra_fraction <= 1.0:
+        raise ModelError(f"intra_fraction must be in [0, 1], got {intra_fraction}")
     rng = np.random.default_rng(seed)
     graph = ConstraintGraph(norm=norm, name=f"clustered-{n_clusters}x{ports_per_cluster}-s{seed}")
     for c in range(n_clusters):
@@ -77,7 +138,13 @@ def clustered_graph(
             x = cx + rng.uniform(-cluster_spread, cluster_spread)
             y = cy + rng.uniform(-cluster_spread, cluster_spread)
             graph.add_port(f"c{c}p{p}", Point(float(x), float(y)), module=f"cluster{c}")
-    _add_random_arcs(graph, rng, n_arcs, bandwidth_range)
+    if intra_fraction is None:
+        _add_random_arcs(graph, rng, n_arcs, bandwidth_range)
+    else:
+        _add_clustered_arcs(
+            graph, rng, n_arcs, bandwidth_range,
+            n_clusters, ports_per_cluster, intra_fraction,
+        )
     return graph
 
 

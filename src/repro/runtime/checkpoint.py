@@ -102,6 +102,11 @@ def instance_fingerprint(graph, library, options=None) -> str:
             "polish_placement": options.polish_placement,
             "hop_penalty": options.hop_penalty,
             "ucp_solver": options.ucp_solver,
+            # the strategy shapes the candidate set (decompose/colgen
+            # may plan fewer columns), so resuming across strategies
+            # would replay chunks into a differently-shaped run
+            "strategy": options.strategy,
+            "max_cluster_arcs": options.max_cluster_arcs,
         }
     digest = hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
     return digest

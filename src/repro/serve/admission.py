@@ -102,9 +102,14 @@ class AdmissionController:
             raise RuntimeError(f"release without a matching admit for client {client!r}")
         self.queued_total -= 1
         remaining = self.queued_by_client[client] - 1
-        if remaining:
+        if remaining > 0:
             self.queued_by_client[client] = remaining
         else:
+            # The zero path must *delete*, never store 0: entries that
+            # linger at zero would grow the dict without bound across
+            # many distinct client IDs, and the per-client bound check in
+            # try_admit relies on absent == zero.  Invariant: every value
+            # in queued_by_client is >= 1.
             del self.queued_by_client[client]
 
     def observe_service(self, elapsed_s: float) -> None:

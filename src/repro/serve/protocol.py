@@ -35,7 +35,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
-from ..core.synthesis import SynthesisOptions
+from ..core.synthesis import STRATEGIES, SynthesisOptions
 from ..core.candidates import PruningLevel
 
 __all__ = [
@@ -255,10 +255,16 @@ def _parse_options(doc: Any) -> SynthesisOptions:
             if not isinstance(value, bool):
                 raise _bad(path, f"expected a boolean, got {type(value).__name__}")
             fields[key] = value
+        elif key == "strategy":
+            if value not in STRATEGIES:
+                raise _bad(path, f"unknown strategy {value!r} "
+                                 f"(use one of {list(STRATEGIES)})")
+            fields["strategy"] = value
         else:
             raise _bad(path, "unknown option (clients may set: pruning, ucp_solver, "
-                             "max_arity, max_merge_hops, hop_penalty, heterogeneous, "
-                             "drop_dominated, polish_placement, validate_result)")
+                             "strategy, max_arity, max_merge_hops, hop_penalty, "
+                             "heterogeneous, drop_dominated, polish_placement, "
+                             "validate_result)")
     # the service always degrades instead of failing on budget exhaustion
     return SynthesisOptions(on_budget_exhausted="degrade", **fields)
 

@@ -1,0 +1,198 @@
+"""Lazy column generation: master-LP duals, the plan-cost lower bound,
+pricing convergence, and exactness against the exhaustive pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SynthesisOptions, synthesize
+from repro.core.decompose import merging_cost_lower_bound
+from repro.core.merging import build_merging_plan, stage_cost
+from repro.covering.colgen import solve_master_lp
+from repro.netgen import parallel_channels_graph
+
+
+class TestMasterLP:
+    def test_duals_price_rows(self):
+        # two rows, only singletons: LP optimum = sum of weights, and
+        # each dual prices its own row at exactly the singleton cost
+        duals = solve_master_lp(
+            rows=("a", "b"),
+            columns=[(frozenset({"a"}), 3.0), (frozenset({"b"}), 5.0)],
+        )
+        assert duals is not None
+        assert duals.objective == pytest.approx(8.0)
+        assert duals.duals == pytest.approx([3.0, 5.0])
+
+    def test_cheap_pair_column_caps_duals(self):
+        # a merged column covering both rows for 4 < 3 + 5 pulls the
+        # LP optimum down to 4 and the duals must stay dual-feasible:
+        # y_a <= 3, y_b <= 5, y_a + y_b <= 4
+        duals = solve_master_lp(
+            rows=("a", "b"),
+            columns=[
+                (frozenset({"a"}), 3.0),
+                (frozenset({"b"}), 5.0),
+                (frozenset({"a", "b"}), 4.0),
+            ],
+        )
+        assert duals is not None
+        assert duals.objective == pytest.approx(4.0)
+        y = duals.duals
+        assert y[0] <= 3.0 + 1e-9 and y[1] <= 5.0 + 1e-9
+        assert y[0] + y[1] <= 4.0 + 1e-9
+        assert np.all(y >= 0.0)
+
+    def test_objective_equals_dual_sum(self):
+        duals = solve_master_lp(
+            rows=("a", "b", "c"),
+            columns=[
+                (frozenset({"a"}), 2.0),
+                (frozenset({"b"}), 2.0),
+                (frozenset({"c"}), 2.0),
+                (frozenset({"a", "b", "c"}), 3.0),
+            ],
+        )
+        assert duals is not None
+        assert float(duals.duals.sum()) == pytest.approx(duals.objective)
+
+    def test_empty_inputs_return_none(self):
+        assert solve_master_lp(rows=(), columns=[]) is None
+        assert solve_master_lp(rows=("a",), columns=[]) is None
+
+
+class TestCostLowerBound:
+    def test_bound_never_exceeds_real_plan_cost(self, per_unit_library):
+        # soundness on the canonical mergeable shape: parallel channels
+        graph = parallel_channels_graph(k=4, distance=100.0, bandwidth=10.0)
+        arcs = graph.arcs
+        node_floor = 0.0  # per-unit library has free nodes
+        third = np.array(
+            [stage_cost(a.bandwidth, per_unit_library)(a.distance / 3.0) for a in arcs]
+        )
+        names = [a.name for a in arcs]
+        for subset in [(0, 1), (0, 1, 2), (0, 1, 2, 3)]:
+            plan = build_merging_plan(
+                graph, [names[i] for i in subset], per_unit_library
+            )
+            assert plan is not None
+            lb = merging_cost_lower_bound(subset, third, node_floor)
+            assert lb <= plan.cost + 1e-9
+
+    def test_bound_grows_with_longest_member(self):
+        third = np.array([10.0, 50.0, 20.0])
+        assert merging_cost_lower_bound((0, 2), third, 1.0) == pytest.approx(21.0)
+        assert merging_cost_lower_bound((0, 1, 2), third, 1.0) == pytest.approx(51.0)
+
+
+class TestColgenStrategy:
+    def test_matches_exact_on_parallel_channels(self, per_unit_library):
+        graph = parallel_channels_graph(k=5, distance=100.0, bandwidth=2.0)
+        exact = synthesize(graph, per_unit_library, SynthesisOptions(strategy="exact"))
+        col = synthesize(graph, per_unit_library, SynthesisOptions(strategy="colgen"))
+        assert col.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+        assert col.decomposition.strategy == "colgen"
+        assert col.decomposition.certified
+        assert col.decomposition.gap_bound == 0.0
+
+    def test_matches_exact_on_wan(self, wan_graph, wan_lib):
+        exact = synthesize(wan_graph, wan_lib)
+        col = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen"))
+        assert col.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+        assert sorted(c.label() for c in col.selected) == sorted(
+            c.label() for c in exact.selected
+        )
+
+    def test_skips_dominated_survivors(self, wan_graph, wan_lib):
+        # with dominated-drop on, colgen's lower bound proves some
+        # survivors can never beat their singletons — they are recorded
+        # as skipped, not planned
+        r = synthesize(
+            wan_graph, wan_lib, SynthesisOptions(strategy="colgen", drop_dominated=True)
+        )
+        d = r.decomposition
+        assert d.columns_planned + d.columns_skipped_dominated <= d.survivors_total
+        exact = synthesize(wan_graph, wan_lib, SynthesisOptions(drop_dominated=True))
+        assert r.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+
+    def test_pricing_runs_at_least_one_round(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen"))
+        assert r.decomposition.pricing_rounds >= 1
+        assert r.decomposition.survivors_total > 0
+
+    def test_max_arity_respected(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen", max_arity=2))
+        assert all(len(c.arc_names) <= 2 for c in r.candidates.mergings)
+        exact = synthesize(wan_graph, wan_lib, SynthesisOptions(max_arity=2))
+        assert r.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+
+    def test_budget_death_during_pricing_degrades(self, wan_graph, wan_lib):
+        # p2p completes, then the budget dies at the first pricing
+        # round: the cover is built from whatever columns exist, with
+        # an honest uncertified report
+        from repro import Budget
+        from repro.runtime import FaultInjector, FaultSpec
+
+        with FaultInjector([FaultSpec(site="colgen.round", kind="timeout")]):
+            r = synthesize(
+                wan_graph,
+                wan_lib,
+                SynthesisOptions(strategy="colgen"),
+                budget=Budget(deadline_s=60.0),
+            )
+        assert r.degradation is not None
+        assert r.degradation.degraded
+        assert not r.decomposition.certified
+        assert r.decomposition.gap_bound is None
+        assert r.decomposition.columns_planned == 0
+
+    def test_already_expired_budget_raises(self, wan_graph, wan_lib):
+        # the budget dies in the mandatory p2p pass: nothing servable,
+        # same contract as the exact pipeline
+        from repro import Budget, BudgetExceeded
+
+        with pytest.raises(BudgetExceeded):
+            synthesize(
+                wan_graph,
+                wan_lib,
+                SynthesisOptions(strategy="colgen"),
+                budget=Budget(deadline_s=0.0),
+            )
+
+    def test_hop_penalty_consistent_with_exact(self, wan_graph, wan_lib):
+        opts = dict(hop_penalty=5.0, max_arity=3)
+        exact = synthesize(wan_graph, wan_lib, SynthesisOptions(**opts))
+        col = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen", **opts))
+        assert col.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+
+
+class TestEnumerationValveCap:
+    def test_valve_trip_caps_universe_instead_of_refusing(
+        self, wan_graph, wan_lib, monkeypatch
+    ):
+        # where the exact pipeline refuses an instance whose subset
+        # count blows the enumeration valve, colgen caps the survivor
+        # universe at the last complete arity and returns a feasible
+        # result with an honestly voided certificate
+        from repro.core import candidates as cand_mod
+        from repro.core.exceptions import InfeasibleError
+
+        monkeypatch.setattr(cand_mod, "MAX_ENUMERATED_SUBSETS", 20)
+        with pytest.raises(InfeasibleError, match="set\\s+max_arity"):
+            synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="exact"))
+
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen"))
+        d = r.decomposition
+        assert not d.certified and d.gap_bound is None
+        assert any("capped below arity" in note for note in d.notes)
+        p2p = sum(c.cost for c in r.candidates.point_to_point)
+        assert r.total_cost <= p2p + 1e-9  # never worse than no merging
+
+    def test_valve_never_trips_with_bounded_arity(self, wan_graph, wan_lib):
+        # an explicit max_arity keeps the universe complete: full
+        # certificate, exact cost
+        r = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="colgen", max_arity=3))
+        assert r.decomposition.certified and r.decomposition.gap_bound == 0.0
+        exact = synthesize(wan_graph, wan_lib, SynthesisOptions(max_arity=3))
+        assert r.total_cost == pytest.approx(exact.total_cost, rel=1e-9)

@@ -68,3 +68,26 @@ def test_domain_matches_golden_record(name, golden):
     for key in ("max_arity", "candidate_counts", "communication_vertices",
                 "link_instances"):
         assert live[key] == pinned[key], f"{name}: {key} drifted{_REGEN}"
+
+
+@pytest.mark.parametrize("name", list(CONFORMANCE_CASES))
+@pytest.mark.parametrize("strategy", ["decompose", "colgen"])
+def test_scalable_strategies_reproduce_golden_optimum(name, strategy, golden):
+    # the decomposition certificate and colgen's exhausted-universe
+    # certificate both claim gap 0 on small instances — hold them to
+    # it: every pinned exact optimum must be reproduced, bit for bit
+    # on cost, by both scalable strategies
+    from repro import SynthesisOptions, synthesize
+
+    builder, max_arity = CONFORMANCE_CASES[name]
+    graph, library = builder()
+    result = synthesize(
+        graph, library, SynthesisOptions(strategy=strategy, max_arity=max_arity)
+    )
+    assert result.total_cost == pytest.approx(golden[name]["total_cost"], rel=1e-9), (
+        f"{name}/{strategy}: cost {result.total_cost} != pinned exact optimum "
+        f"{golden[name]['total_cost']}{_REGEN}"
+    )
+    assert result.decomposition is not None
+    assert result.decomposition.certified
+    assert result.decomposition.gap_bound == 0.0

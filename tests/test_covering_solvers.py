@@ -156,3 +156,51 @@ class TestExhaustive:
         )
         sol = solve_exhaustive(p)
         assert set(sol.column_names) == {"both"}
+
+
+class TestZeroWeightTieBreak:
+    """Several zero-weight columns have the same infinite cover-per-
+    weight ratio; the pinned tie-break (lowest declaration index) keeps
+    serial and parallel runs byte-identical."""
+
+    def _problem(self):
+        # both zero columns cover live rows; z_late is declared last but
+        # sorts first alphabetically -- the tie-break must use the
+        # declaration index, not the name
+        return CoveringProblem(
+            rows=["r1", "r2", "r3"],
+            columns=[
+                col("z_mid", {"r2"}, 0.0),
+                col("a_late", {"r1"}, 0.0),
+                col("rest", {"r1", "r2", "r3"}, 5.0),
+            ],
+        )
+
+    def test_greedy_picks_lowest_declared_zero_column_first(self):
+        sol = greedy_cover(self._problem())
+        # z_mid (index 0) must be taken before a_late (index 1), both
+        # before any weighted column
+        assert sol.column_names[0] == "z_mid"
+        assert sol.column_names[1] == "a_late"
+
+    def test_greedy_zero_columns_are_free(self):
+        sol = greedy_cover(self._problem())
+        assert sol.weight == pytest.approx(5.0)
+
+    def test_bnb_deterministic_with_zero_columns(self):
+        p = self._problem()
+        first = solve_cover(p)
+        for _ in range(3):
+            again = solve_cover(p)
+            assert again.column_names == first.column_names
+            assert again.weight == pytest.approx(first.weight)
+
+    def test_bnb_matches_exhaustive_with_zero_columns(self):
+        p = self._problem()
+        assert solve_cover(p).weight == pytest.approx(solve_exhaustive(p).weight)
+
+    def test_column_index_reports_declaration_order(self):
+        p = self._problem()
+        assert [p.column_index(c.name) for c in p.columns] == [0, 1, 2]
+        with pytest.raises(CoveringError, match="unknown column"):
+            p.column_index("nope")

@@ -1,0 +1,245 @@
+"""Cluster-decomposition strategy: partition certificate, stitch pass,
+strategy dispatch, and exactness against the exhaustive pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Budget,
+    SynthesisError,
+    SynthesisOptions,
+    synthesize,
+)
+from repro.core.decompose import (
+    DecompositionReport,
+    certified_partition,
+    _clusters_from_labels,
+    _force_split,
+)
+from repro.core.matrices import compute_matrices
+from repro.core.synthesis import (
+    AUTO_COLGEN_MAX_ARCS,
+    AUTO_EXACT_MAX_ARCS,
+    resolve_strategy,
+)
+from repro.io.json_io import synthesis_result_to_dict
+from repro.netgen import clustered_graph
+from repro.domains import wan_library
+
+
+@pytest.fixture(scope="module")
+def two_island_instance():
+    """Two tight 6-port islands, purely local traffic — the shape the
+    certificate must split into (at least) two clusters."""
+    graph = clustered_graph(
+        n_clusters=2,
+        ports_per_cluster=6,
+        n_arcs=16,
+        cluster_spread=4.0,
+        separation=800.0,
+        bandwidth_range=(1.0, 3.0),
+        seed=7,
+        intra_fraction=1.0,
+    )
+    return graph, wan_library()
+
+
+class TestCertifiedPartition:
+    def test_splits_separated_islands(self, two_island_instance):
+        graph, library = two_island_instance
+        labels, rounds, boundary = certified_partition(compute_matrices(graph), library)
+        assert len(set(labels.tolist())) >= 2
+        assert boundary > 0
+
+    def test_clusters_respect_island_membership(self, two_island_instance):
+        # no certified cluster may span both spatial islands: every
+        # cross-island pair has a huge Lemma 3.1 margin
+        graph, library = two_island_instance
+        matrices = compute_matrices(graph)
+        labels, _, _ = certified_partition(matrices, library)
+        island = {}
+        for i, name in enumerate(matrices.arc_names):
+            arc = graph.arc(name)
+            island[i] = arc.source.position.x > 0  # islands sit at x = ±800
+        for cluster in _clusters_from_labels(labels):
+            assert len({island[i] for i in cluster}) == 1
+
+    def test_labels_deterministic(self, two_island_instance):
+        graph, library = two_island_instance
+        matrices = compute_matrices(graph)
+        a = certified_partition(matrices, library)
+        b = certified_partition(matrices, library)
+        assert np.array_equal(a[0], b[0]) and a[1:] == b[1:]
+
+    def test_dense_instance_coarsens_to_one_cluster(self, wan_graph, wan_lib):
+        # the paper's WAN arcs all interact — the certificate must
+        # refuse to split rather than produce an unsound partition
+        labels, _, _ = certified_partition(compute_matrices(wan_graph), wan_lib)
+        assert len(set(labels.tolist())) == 1
+
+    def test_force_split_caps_cluster_size(self, two_island_instance):
+        graph, library = two_island_instance
+        matrices = compute_matrices(graph)
+        labels, _, _ = certified_partition(matrices, library)
+        split, cuts = _force_split(graph, matrices, labels, max_cluster_arcs=3)
+        assert cuts > 0
+        assert all(len(c) <= 3 for c in _clusters_from_labels(split))
+
+    def test_force_split_noop_when_under_cap(self, two_island_instance):
+        graph, library = two_island_instance
+        matrices = compute_matrices(graph)
+        labels, _, _ = certified_partition(matrices, library)
+        split, cuts = _force_split(graph, matrices, labels, max_cluster_arcs=1000)
+        assert cuts == 0 and np.array_equal(split, labels)
+
+
+class TestDecomposeStrategy:
+    def test_matches_exact_on_islands(self, two_island_instance):
+        graph, library = two_island_instance
+        exact = synthesize(graph, library, SynthesisOptions(strategy="exact", max_arity=3))
+        dec = synthesize(graph, library, SynthesisOptions(strategy="decompose", max_arity=3))
+        assert dec.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+        assert dec.decomposition is not None
+        assert dec.decomposition.certified
+        assert dec.decomposition.gap_bound == 0.0
+        assert dec.decomposition.n_clusters >= 2
+
+    def test_matches_exact_on_wan(self, wan_graph, wan_lib):
+        # coarsened to one cluster, decompose degenerates to the exact
+        # pipeline and must return the identical cover
+        exact = synthesize(wan_graph, wan_lib)
+        dec = synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="decompose"))
+        assert dec.total_cost == pytest.approx(exact.total_cost, rel=1e-9)
+        assert sorted(c.label() for c in dec.selected) == sorted(
+            c.label() for c in exact.selected
+        )
+        assert dec.decomposition.gap_bound == 0.0
+
+    def test_forced_split_voids_certificate(self, two_island_instance):
+        graph, library = two_island_instance
+        r = synthesize(
+            graph,
+            library,
+            SynthesisOptions(strategy="decompose", max_arity=2, max_cluster_arcs=3),
+        )
+        d = r.decomposition
+        assert d.forced_splits > 0
+        assert not d.certified
+        assert d.gap_bound is None
+        assert d.notes
+        # the stitch pass still re-prices cross-cut pairs, so a forced
+        # split costs at most the unexplored >2-way cross candidates
+        exact = synthesize(graph, library, SynthesisOptions(strategy="exact", max_arity=2))
+        assert r.total_cost <= sum(c.cost for c in r.candidates.point_to_point) + 1e-9
+        assert r.total_cost >= exact.total_cost - 1e-9
+
+    def _second_cluster_p2p_fault(self, graph, library):
+        """A timeout injected into the *second* cluster's p2p pass."""
+        from repro.runtime import FaultSpec
+
+        matrices = compute_matrices(graph)
+        labels, _, _ = certified_partition(matrices, library)
+        first = _clusters_from_labels(labels)[0]
+        return FaultSpec(site="candidates.p2p", kind="timeout", after=len(first), times=1)
+
+    def test_budget_death_midway_degrades(self, two_island_instance):
+        # the first cluster finishes, then the budget dies in the next
+        # cluster's p2p pass: remaining clusters fall back to p2p-only,
+        # the result stays feasible and honestly uncertified
+        from repro.runtime import FaultInjector
+
+        graph, library = two_island_instance
+        spec = self._second_cluster_p2p_fault(graph, library)
+        with FaultInjector([spec]):
+            r = synthesize(
+                graph,
+                library,
+                SynthesisOptions(strategy="decompose", max_arity=2),
+                budget=Budget(deadline_s=60.0),
+            )
+        assert r.degradation is not None
+        assert r.degradation.degraded
+        assert not r.decomposition.certified
+        assert r.decomposition.gap_bound is None
+
+    def test_budget_fail_mode_raises(self, two_island_instance):
+        from repro import BudgetExceeded
+        from repro.runtime import FaultInjector
+
+        graph, library = two_island_instance
+        spec = self._second_cluster_p2p_fault(graph, library)
+        with FaultInjector([spec]):
+            with pytest.raises(BudgetExceeded):
+                synthesize(
+                    graph,
+                    library,
+                    SynthesisOptions(
+                        strategy="decompose", max_arity=2, on_budget_exhausted="fail"
+                    ),
+                    budget=Budget(deadline_s=60.0),
+                )
+
+    def test_already_expired_budget_raises(self, two_island_instance):
+        # nothing servable: same contract as the exact pipeline
+        from repro import BudgetExceeded
+
+        graph, library = two_island_instance
+        with pytest.raises(BudgetExceeded):
+            synthesize(
+                graph,
+                library,
+                SynthesisOptions(strategy="decompose", max_arity=2),
+                budget=Budget(deadline_s=0.0),
+            )
+
+    def test_report_serialized_in_result_dict(self, two_island_instance):
+        graph, library = two_island_instance
+        r = synthesize(graph, library, SynthesisOptions(strategy="decompose", max_arity=2))
+        doc = synthesis_result_to_dict(r)
+        assert doc["decomposition"]["strategy"] == "decompose"
+        assert doc["decomposition"]["gap_bound"] == 0.0
+        exact = synthesize(graph, library, SynthesisOptions(max_arity=2))
+        assert synthesis_result_to_dict(exact)["decomposition"] is None
+
+
+class TestStrategyDispatch:
+    def test_auto_thresholds(self):
+        assert resolve_strategy("auto", AUTO_EXACT_MAX_ARCS) == "exact"
+        assert resolve_strategy("auto", AUTO_EXACT_MAX_ARCS + 1) == "colgen"
+        assert resolve_strategy("auto", AUTO_COLGEN_MAX_ARCS) == "colgen"
+        assert resolve_strategy("auto", AUTO_COLGEN_MAX_ARCS + 1) == "decompose"
+
+    def test_explicit_strategy_wins(self):
+        assert resolve_strategy("exact", 10_000) == "exact"
+        assert resolve_strategy("decompose", 2) == "decompose"
+
+    def test_unknown_strategy_rejected(self, wan_graph, wan_lib):
+        with pytest.raises(SynthesisError, match="strategy"):
+            synthesize(wan_graph, wan_lib, SynthesisOptions(strategy="magic"))
+
+    def test_bad_max_cluster_arcs_rejected(self, wan_graph, wan_lib):
+        with pytest.raises(SynthesisError, match="max_cluster_arcs"):
+            synthesize(wan_graph, wan_lib, SynthesisOptions(max_cluster_arcs=1))
+
+    def test_exact_runs_have_no_decomposition_report(self, wan_graph, wan_lib):
+        r = synthesize(wan_graph, wan_lib)
+        assert r.decomposition is None
+
+    def test_report_to_dict_roundtrips_json(self):
+        import json
+
+        report = DecompositionReport(strategy="decompose", gap_bound=0.0, certified=True)
+        assert json.loads(json.dumps(report.to_dict()))["certified"] is True
+
+
+class TestFingerprint:
+    def test_strategy_changes_fingerprint(self, wan_graph, wan_lib):
+        from repro import instance_fingerprint
+
+        exact = instance_fingerprint(wan_graph, wan_lib, SynthesisOptions())
+        dec = instance_fingerprint(
+            wan_graph, wan_lib, SynthesisOptions(strategy="decompose")
+        )
+        assert exact != dec

@@ -45,6 +45,57 @@ class TestClustered:
         assert all(5.0 <= a.bandwidth <= 9.0 for a in g.arcs)
 
 
+class TestClusteredIntraFraction:
+    def test_none_is_byte_identical_to_legacy_sampling(self):
+        # intra_fraction=None must take the historical code path: same
+        # seed, same arcs (names, endpoints, bandwidths)
+        a = clustered_graph(n_clusters=3, ports_per_cluster=4, n_arcs=12, seed=9)
+        b = clustered_graph(
+            n_clusters=3, ports_per_cluster=4, n_arcs=12, seed=9, intra_fraction=None
+        )
+        key = lambda g: [
+            (x.name, x.source.name, x.target.name, x.bandwidth) for x in g.arcs
+        ]
+        assert key(a) == key(b)
+
+    def test_fraction_one_keeps_all_arcs_local(self):
+        g = clustered_graph(
+            n_clusters=4, ports_per_cluster=5, n_arcs=30, seed=11, intra_fraction=1.0
+        )
+        assert len(g) == 30
+        for arc in g.arcs:
+            assert arc.source.module == arc.target.module
+
+    def test_fraction_splits_local_and_global(self):
+        g = clustered_graph(
+            n_clusters=4, ports_per_cluster=5, n_arcs=20, seed=13, intra_fraction=0.75
+        )
+        local = sum(1 for a in g.arcs if a.source.module == a.target.module)
+        assert len(g) == 20
+        assert local >= round(0.75 * 20)  # global draws may land local too
+
+    def test_deterministic_per_seed(self):
+        key = lambda g: [
+            (x.name, x.source.name, x.target.name, x.bandwidth) for x in g.arcs
+        ]
+        a = clustered_graph(n_arcs=8, seed=5, intra_fraction=0.5)
+        b = clustered_graph(n_arcs=8, seed=5, intra_fraction=0.5)
+        assert key(a) == key(b)
+
+    def test_out_of_range_fraction_rejected(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ModelError, match="intra_fraction"):
+                clustered_graph(intra_fraction=bad)
+
+    def test_too_many_intra_arcs_rejected(self):
+        # 2 clusters x 2 ports -> 4 within-cluster ordered pairs; asking
+        # for 6 local arcs cannot be satisfied
+        with pytest.raises(ModelError, match="intra-cluster"):
+            clustered_graph(
+                n_clusters=2, ports_per_cluster=2, n_arcs=6, intra_fraction=1.0
+            )
+
+
 class TestUniform:
     def test_counts_and_extent(self):
         g = uniform_graph(n_ports=6, n_arcs=7, extent=50.0, seed=2)

@@ -330,3 +330,41 @@ class TestWorkerCounterAccounting:
         with tracing(serial_tracer):
             generate_candidates(wan_graph, wan_lib, jobs=None)
         assert serial_tracer.counters == parallel_tracer.counters
+
+
+class TestJobsClamp:
+    """jobs above the machine's core count are clamped, and the clamp is
+    observable (stats.effective_jobs) without perturbing stats equality."""
+
+    def test_jobs_clamped_to_cpu_count(self, wan_graph, wan_lib, monkeypatch, caplog):
+        import logging
+
+        from repro.core import candidates as cand_mod
+
+        monkeypatch.setattr(cand_mod, "_cpu_count", lambda: 2)
+        with caplog.at_level(logging.INFO, logger=cand_mod.__name__):
+            cs = generate_candidates(wan_graph, wan_lib, jobs=8)
+        assert cs.stats.effective_jobs == 2
+        assert any("clamping jobs=8" in r.message for r in caplog.records)
+
+    def test_jobs_under_count_untouched(self, wan_graph, wan_lib, monkeypatch):
+        from repro.core import candidates as cand_mod
+
+        monkeypatch.setattr(cand_mod, "_cpu_count", lambda: 4)
+        cs = generate_candidates(wan_graph, wan_lib, jobs=3)
+        assert cs.stats.effective_jobs == 3
+
+    def test_serial_effective_jobs_is_one(self, wan_graph, wan_lib):
+        assert generate_candidates(wan_graph, wan_lib).stats.effective_jobs == 1
+        assert generate_candidates(wan_graph, wan_lib, jobs=1).stats.effective_jobs == 1
+
+    def test_clamp_does_not_perturb_stats_equality(self, wan_graph, wan_lib, monkeypatch):
+        # effective_jobs is compare=False metadata: a clamped parallel
+        # run and a serial run still report equal GenerationStats
+        from repro.core import candidates as cand_mod
+
+        serial = generate_candidates(wan_graph, wan_lib)
+        monkeypatch.setattr(cand_mod, "_cpu_count", lambda: 2)
+        clamped = generate_candidates(wan_graph, wan_lib, jobs=16)
+        assert clamped.stats.effective_jobs == 2
+        assert clamped.stats == serial.stats

@@ -207,3 +207,35 @@ class TestOptimizeTwoPoints:
             optimize_two_points(
                 [Point(0, 0)], [Point(1, 1)], [], linear_stage(1.0), [linear_stage(1.0)]
             )
+
+
+class TestWeiszfeldCoincidentAnchor:
+    def test_start_on_anchor_does_not_stall(self):
+        # equal-weight corners of a square, iteration started exactly ON
+        # a corner: the coincident anchor's 1/d term is undefined, and
+        # with only epsilon-smoothing in the denominator its huge
+        # coefficient pins the iterate to the corner (cost ~ 34.14).
+        # The guard must skip the coincident term and descend to the
+        # center (cost 4 * 5*sqrt(2) ~ 28.28).
+        pts = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        p, iterations = weiszfeld(pts, [1.0] * 4, start=Point(0, 0))
+        assert iterations > 0
+        assert p.is_close(Point(5, 5), tol=1e-6)
+        center_cost = 4 * math.hypot(5, 5)
+        found_cost = sum(math.hypot(q.x - p.x, q.y - p.y) for q in pts)
+        assert found_cost == pytest.approx(center_cost, abs=1e-6)
+
+    def test_iterate_passing_through_anchor_mid_run(self):
+        # collinear anchors with an interior one: descending from the
+        # right end walks straight through the middle anchor.  The
+        # skip-and-continue guard must let the iterate cross it and
+        # settle on the true optimum (the median anchor here).
+        pts = [Point(0, 0), Point(6, 0), Point(20, 0)]
+        p, _ = weiszfeld(pts, [1.0, 1.0, 1.0], start=Point(6, 0))
+        assert p.is_close(Point(6, 0), tol=1e-6)
+
+    def test_all_anchors_coincide(self):
+        # every effective anchor at one point: the optimum is that
+        # point, returned without a division by zero
+        p, _ = weiszfeld([Point(2, 3), Point(2, 3), Point(2, 3)], [1.0, 2.0, 3.0])
+        assert p == Point(2, 3)

@@ -185,6 +185,40 @@ class TestAdmissionController:
         assert ctl.retry_after_s() == pytest.approx(10.0, rel=0.2)
 
 
+    def test_many_clients_churn_leaves_no_residue(self):
+        # the release() audit must delete emptied per-client entries:
+        # after heavy churn over many distinct clients the accounting
+        # dict is empty, not a graveyard of zero counters
+        ctl = AdmissionController(policy=AdmissionPolicy(max_queue=4), workers=1)
+        for i in range(500):
+            client = f"tenant-{i}"
+            assert ctl.try_admit(client) is None
+            ctl.release(client)
+        assert ctl.queued_total == 0
+        assert ctl.queued_by_client == {}
+        assert ctl.admitted == 500 and ctl.shed == 0
+
+    def test_churn_keeps_per_client_bounds_exact(self):
+        # interleaved multi-admit churn: entries vanish exactly when a
+        # client's count hits zero, and the per-client bound still
+        # enforces against fresh admissions afterwards
+        ctl = AdmissionController(
+            policy=AdmissionPolicy(max_queue=100, max_queue_per_client=2), workers=1
+        )
+        for i in range(50):
+            client = f"c{i}"
+            assert ctl.try_admit(client) is None
+            assert ctl.try_admit(client) is None
+            assert ctl.try_admit(client) is not None  # bound enforced
+            ctl.release(client)
+            assert ctl.queued_by_client[client] == 1
+            ctl.release(client)
+            assert client not in ctl.queued_by_client
+            assert ctl.try_admit(client) is None  # bound reopened
+            ctl.release(client)
+        assert ctl.queued_by_client == {} and ctl.queued_total == 0
+
+
 class TestFairScheduler:
     def test_round_robin_across_clients_fifo_within(self):
         sched = FairScheduler()
