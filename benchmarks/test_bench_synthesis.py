@@ -1,0 +1,148 @@
+"""Kernel-backend speed gate — cold single-core end-to-end synthesis.
+
+Runs the same two workloads under every available kernel backend (see
+:mod:`repro.kernels`): the paper's WAN example and the scaling
+workload that makes Weiszfeld placement the dominant cost (two distant
+clusters, arity-4 mergings — the regime ROADMAP item 2 cares about).
+Asserts the numpy backend is at least ``MIN_SPEEDUP``x faster than the
+pure-python reference on the scaling workload *and* that every backend
+returns a bit-identical result dict (the differential pack pins this
+across many instances; the bench re-checks it on exactly the timed
+runs).  Per-backend timings land in ``BENCH_synthesis.json`` at the
+repo root (uploaded as a CI artifact).
+
+Each backend × workload is timed over ``ROUNDS`` independent cold runs
+(fresh synthesis, no persistent cache, no warmup) and scored by the
+*minimum* — wall-clock noise on shared CI runners only ever inflates a
+round, never deflates it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import SynthesisOptions, synthesize
+from repro.batch.runner import stable_result_dict
+from repro.domains import wan_example
+from repro.io import atomic_write
+from repro.kernels import available_backends, use_kernels
+from repro.netgen import clustered_graph
+from repro.netgen.libraries import two_tier_library
+
+from .conftest import comparison_table
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_synthesis.json"
+
+#: acceptance floor for numpy-vs-python on the scaling workload.
+MIN_SPEEDUP = 2.0
+
+#: independent cold runs per backend × workload; min is the score.
+ROUNDS = 3
+
+SCALING_INSTANCE = {
+    "n_clusters": 2,
+    "ports_per_cluster": 4,
+    "n_arcs": 10,
+    "separation": 100.0,
+    "seed": 42,
+}
+
+
+def _workloads():
+    wan_graph, wan_library = wan_example()
+    return {
+        "wan": (wan_graph, wan_library, SynthesisOptions()),
+        "scaling": (
+            clustered_graph(**SCALING_INSTANCE),
+            two_tier_library(),
+            SynthesisOptions(max_arity=4),
+        ),
+    }
+
+
+def test_bench_synthesis_kernel_backends(benchmark):
+    workloads = _workloads()
+    backends = available_backends()
+    assert "python" in backends and "numpy" in backends
+
+    timings = {}  # (backend, workload) -> list of seconds
+    digests = {}  # workload -> {backend: stable result dict}
+
+    def run_all():
+        for backend in backends:
+            with use_kernels(backend):
+                for wname, (graph, library, options) in workloads.items():
+                    for _ in range(ROUNDS):
+                        t0 = time.perf_counter()
+                        result = synthesize(graph, library, options)
+                        elapsed = time.perf_counter() - t0
+                        timings.setdefault((backend, wname), []).append(elapsed)
+                    digests.setdefault(wname, {})[backend] = stable_result_dict(
+                        result
+                    )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # bit-identity on the timed runs: every backend, both workloads
+    for wname, by_backend in digests.items():
+        reference = by_backend["python"]
+        for backend, digest in by_backend.items():
+            assert digest == reference, (
+                f"backend {backend!r} diverged from the python reference "
+                f"on workload {wname!r}"
+            )
+
+    score = {
+        f"{backend}/{wname}": min(times)
+        for (backend, wname), times in timings.items()
+    }
+    speedup_scaling = score["python/scaling"] / score["numpy/scaling"]
+    speedup_wan = score["python/wan"] / score["numpy/wan"]
+    assert speedup_scaling >= MIN_SPEEDUP, (
+        f"numpy backend is only {speedup_scaling:.2f}x the python reference "
+        f"on the scaling workload (floor {MIN_SPEEDUP}x): {score}"
+    )
+
+    record = {
+        "workloads": {
+            "wan": {"generator": "wan_example"},
+            "scaling": {
+                "generator": "clustered_graph",
+                **SCALING_INSTANCE,
+                "library": "two_tier_library",
+                "max_arity": 4,
+            },
+        },
+        "backends": backends,
+        "rounds": ROUNDS,
+        "seconds": {
+            f"{backend}/{wname}": times
+            for (backend, wname), times in sorted(timings.items())
+        },
+        "cold_min_seconds": dict(sorted(score.items())),
+        "speedup_numpy_vs_python": {
+            "wan": speedup_wan,
+            "scaling": speedup_scaling,
+        },
+        "min_speedup_floor": MIN_SPEEDUP,
+        "bit_identical_backends": True,
+    }
+    atomic_write(RESULT_PATH, json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(
+        comparison_table(
+            "Kernel backends — cold single-core end-to-end synthesis",
+            [
+                ("python scaling [s]", "-", f"{score['python/scaling']:.2f}"),
+                ("numpy scaling [s]", "-", f"{score['numpy/scaling']:.2f}"),
+                (
+                    "numpy speedup (scaling)",
+                    f">= {MIN_SPEEDUP:.1f}x",
+                    f"{speedup_scaling:.2f}x",
+                ),
+                ("numpy speedup (wan)", "-", f"{speedup_wan:.2f}x"),
+                ("backends bit-identical", "yes", "yes"),
+            ],
+        )
+    )

@@ -154,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --strategy decompose: force-split clusters larger than "
         "N arcs (caps per-cluster cost; voids the optimality certificate)",
     )
+    syn.add_argument(
+        "--kernels",
+        choices=("auto", "python", "numpy", "numba"),
+        default=None,
+        help="compute-kernel backend for the numeric hot paths; every "
+        "backend is bit-identical on results (default: REPRO_KERNELS "
+        "env var, else fastest available)",
+    )
     syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
     syn.add_argument(
         "--deadline",
@@ -428,6 +436,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         resume=args.resume,
         strategy=args.strategy,
         max_cluster_arcs=args.max_cluster_arcs,
+        kernels=args.kernels,
     )
     if args.resume:
         _report_checkpoint_tail(args, graph, library, options)

@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from ..kernels import current_kernels, set_kernels
 from ..obs import TracerLike, Tracer, TraceSnapshot, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from ..runtime.checkpoint import CheckpointJournal
@@ -48,8 +49,8 @@ from .cache import PersistentCache, current_persistent_cache, set_persistent_cac
 from .constraint_graph import ConstraintGraph
 from .exceptions import BudgetExceeded, InfeasibleError
 from .library import CommunicationLibrary
-from .matrices import ArcMatrices, compute_matrices
-from .merging import MergingPlan, build_merging_plan
+from .matrices import ArcMatrices, IncrementalArcMatrices, compute_matrices
+from .merging import MergingPlan, build_merging_plan, build_merging_plans_batch
 from .mixed_segmentation import MixedChainPlan, best_mixed_segmentation
 from .point_to_point import PointToPointPlan, best_point_to_point
 from .pruning import (
@@ -86,10 +87,15 @@ MAX_ENUMERATED_SUBSETS = 2_000_000
 #: the budget-checkpoint granularity of the pruning pass.
 _PRUNE_CHUNK = 8192
 
-#: surviving subsets per process-pool planning task — small enough to
-#: keep every worker busy near a deadline, large enough to amortize
-#: pickling of the argument lists.
-_PLAN_CHUNK = 16
+#: surviving subsets per planning task — small enough to keep every
+#: pool worker busy near a deadline and to bound what a crash or
+#: budget death can lose, large enough to amortize pickling *and* to
+#: give the lockstep Weiszfeld batch (:mod:`repro.kernels`) a wide
+#: front of concurrent placement problems to fuse.  Width matters more
+#: than it looks: the alternating-descent active set thins out round by
+#: round, and a wide chunk keeps late rounds above the lockstep
+#: break-even width instead of draining into the scalar straggler path.
+_PLAN_CHUNK = 512
 
 _log = logging.getLogger(__name__)
 
@@ -311,7 +317,7 @@ def generate_candidates(
 
         mergings: List[Candidate] = []
         if n >= 2:
-            matrices = compute_matrices(graph)
+            matrices = IncrementalArcMatrices(graph)
             pool: Optional[_PoolManager] = None
             try:
                 if jobs is not None and jobs > 1:
@@ -319,6 +325,7 @@ def generate_candidates(
                     pool = _PoolManager(
                         jobs, graph, library, polish_placement, tracer.enabled,
                         cache_dir=str(store.directory) if store is not None else None,
+                        kernels=current_kernels().name,
                     )
                 mergings = _enumerate_mergings(
                     graph, library, matrices, pruning, max_arity, stats, polish_placement,
@@ -380,17 +387,22 @@ def _pool_init(
     polish_placement: bool,
     trace: bool = False,
     cache_dir: Optional[str] = None,
+    kernels: Optional[str] = None,
 ) -> None:
     """Process-pool initializer: stash the shared synthesis inputs.
 
     When the parent runs under a persistent cache, each worker opens its
     own append handle on the same directory (the store is multi-process
-    safe but each handle is single-process)."""
+    safe but each handle is single-process).  The parent's kernel
+    backend follows the work into the workers (results are bit-identical
+    either way — this keeps the *performance* story uniform)."""
     _POOL_STATE["graph"] = graph
     _POOL_STATE["library"] = library
     _POOL_STATE["polish"] = polish_placement
     _POOL_STATE["trace"] = trace
     set_persistent_cache(PersistentCache(cache_dir) if cache_dir else None)
+    if kernels is not None:
+        set_kernels(kernels)
 
 
 def _record_plan_outcome(
@@ -432,24 +444,20 @@ def _pool_plan_chunk(
             build_merging_plan(graph, list(groups[0]), library, polish_placement=polish)
         os._exit(13)  # mid-chunk, uncatchable: simulates SIGKILL/segfault
     if not _POOL_STATE.get("trace"):
-        plans = [
-            build_merging_plan(graph, list(group), library, polish_placement=polish)
-            for group in groups
-        ]
-        return plans, None
+        return build_merging_plans_batch(
+            graph, groups, library, polish_placement=polish
+        ), None
 
     tracer = Tracer(label=f"worker-{os.getpid()}")
-    plans = []
     with tracing(tracer):
         with tracer.span(
             "candidates.plan.chunk", k=len(groups[0]) if groups else 0, size=len(groups)
         ):
-            for group in groups:
-                plan = build_merging_plan(
-                    graph, list(group), library, polish_placement=polish
-                )
+            plans = build_merging_plans_batch(
+                graph, groups, library, polish_placement=polish
+            )
+            for group, plan in zip(groups, plans):
                 _record_plan_outcome(tracer, len(group), plan)
-                plans.append(plan)
     return plans, tracer.snapshot()
 
 
@@ -472,9 +480,10 @@ class _PoolManager:
         polish_placement: bool,
         trace: bool,
         cache_dir: Optional[str] = None,
+        kernels: Optional[str] = None,
     ) -> None:
         self.jobs = jobs
-        self._initargs = (graph, library, polish_placement, trace, cache_dir)
+        self._initargs = (graph, library, polish_placement, trace, cache_dir, kernels)
         self._pool: Optional[ProcessPoolExecutor] = None
 
     def submit(self, fn, *args) -> Future:
@@ -496,24 +505,29 @@ class _PoolManager:
 
 def _prune_arity(
     matrices: ArcMatrices,
-    active: Sequence[int],
     k: int,
     pruning: PruningLevel,
-    prev_survivors: Set[FrozenSet[int]],
+    prev_survivors: Set[FrozenSet[str]],
     max_bw: float,
     stats: GenerationStats,
     tracker: BudgetTracker,
 ) -> Optional[List[Tuple[int, ...]]]:
-    """Batch-evaluate every K-subset of ``active`` against the pruning
-    conditions; ``None`` signals budget truncation mid-pass.
+    """Batch-evaluate every K-subset of the (compacted) active matrices
+    against the pruning conditions; ``None`` signals budget truncation
+    mid-pass.
 
-    Subsets stream out of ``itertools.combinations`` in chunks; each
-    chunk is one numpy gather over the Γ/Δ column sums and one over the
-    bandwidth vector instead of one ``np.ix_`` block per subset.
+    ``matrices`` holds only the still-active arcs (Theorem 3.1 retirees
+    are gone — see :class:`~repro.core.matrices.IncrementalArcMatrices`),
+    so subsets enumerate over ``range(size)``.  Subsets stream out of
+    ``itertools.combinations`` in chunks; each chunk is one batched
+    kernel call over the Γ/Δ column sums and one over the bandwidth
+    vector instead of one ``np.ix_`` block per subset.  APRIORI's
+    survivor memory is keyed by arc *name* (stable across compaction).
     """
     tracer = current_tracer()
+    names = matrices.arc_names
     survivors: List[Tuple[int, ...]] = []
-    combos = itertools.combinations(active, k)
+    combos = itertools.combinations(range(matrices.size), k)
     while True:
         chunk = list(itertools.islice(combos, _PRUNE_CHUNK))
         if not chunk:
@@ -528,15 +542,15 @@ def _prune_arity(
         if stats.subsets_enumerated > MAX_ENUMERATED_SUBSETS:
             raise InfeasibleError(
                 f"candidate enumeration exceeded {MAX_ENUMERATED_SUBSETS} subsets "
-                f"at arity {k} with {len(active)} mergeable arcs — set "
+                f"at arity {k} with {matrices.size} mergeable arcs — set "
                 f"max_arity to bound the search (the result stays exact "
                 f"within that arity)"
             )
         if pruning is PruningLevel.APRIORI and k > 2:
             kept = []
             for subset in chunk:
-                fs = frozenset(subset)
-                if any(fs - {i} not in prev_survivors for i in fs):
+                fs = frozenset(names[i] for i in subset)
+                if any(fs - {nm} not in prev_survivors for nm in fs):
                     stats.pruned_apriori += 1
                     tracer.count("candidates.pruned.apriori")
                 else:
@@ -611,22 +625,36 @@ def _plan_arity_serial(
             for plan in plans:
                 _record_plan_outcome(tracer, k, plan)
         else:
-            plans = []
-            for group in chunk:
+            # Same checkpoint cadence as the historical one-at-a-time
+            # loop (one "candidates.plan" per group, in order), taken
+            # *before* the batched solve: on BudgetExceeded at group j
+            # the first j groups — exactly the ones the serial loop
+            # would have finished — are still solved and kept.
+            upto = len(chunk)
+            truncated = False
+            for i in range(len(chunk)):
                 try:
                     tracker.checkpoint("candidates.plan")
                 except BudgetExceeded:
-                    # keep the partial chunk's work (anytime semantics)
-                    # but never journal it: only *completed* chunks are
-                    # durable, so a resume re-solves this one whole.
-                    stats.budget_truncated = True
-                    _absorb_plans(plans, k, stats, candidates)
-                    return False
-                plan = build_merging_plan(
-                    graph, list(group), library, polish_placement=polish_placement
+                    upto = i
+                    truncated = True
+                    break
+            plans = (
+                build_merging_plans_batch(
+                    graph, chunk[:upto], library, polish_placement=polish_placement
                 )
+                if upto
+                else []
+            )
+            for plan in plans:
                 _record_plan_outcome(tracer, k, plan)
-                plans.append(plan)
+            if truncated:
+                # keep the partial chunk's work (anytime semantics)
+                # but never journal it: only *completed* chunks are
+                # durable, so a resume re-solves this one whole.
+                stats.budget_truncated = True
+                _absorb_plans(plans, k, stats, candidates)
+                return False
             if journal is not None:
                 journal.record_chunk(k, index, chunk, plans)
         _absorb_plans(plans, k, stats, candidates)
@@ -724,14 +752,12 @@ def _plan_arity_parallel(
                     _recover()
                     _redispatch_pending(pos)
                     snapshot = None
-                    plans = []
-                    for group in chunks[pos]:
-                        plan = build_merging_plan(
-                            graph, list(group), library,
-                            polish_placement=polish_placement,
-                        )
+                    plans = build_merging_plans_batch(
+                        graph, chunks[pos], library,
+                        polish_placement=polish_placement,
+                    )
+                    for plan in plans:
                         _record_plan_outcome(tracer, k, plan)
-                        plans.append(plan)
             if snapshot is not None:
                 # Plan-outcome counters were accumulated in the worker;
                 # the absorbed snapshots sum to exactly the serial totals.
@@ -745,7 +771,7 @@ def _plan_arity_parallel(
 def _enumerate_mergings(
     graph: ConstraintGraph,
     library: CommunicationLibrary,
-    matrices: ArcMatrices,
+    matrices: IncrementalArcMatrices,
     pruning: PruningLevel,
     max_arity: Optional[int],
     stats: GenerationStats,
@@ -758,29 +784,33 @@ def _enumerate_mergings(
 
     Each arity runs a vectorized pruning pass (:func:`_prune_arity`)
     followed by the per-survivor placement solves — in-process, or
-    fanned out over ``pool`` when one is given.  On
-    :class:`BudgetExceeded` from a checkpoint the enumeration stops and
-    the candidates built so far are returned (anytime behavior);
-    ``stats.budget_truncated`` records the cut.
+    fanned out over ``pool`` when one is given.  Theorem 3.1 retirement
+    physically removes an arc's Γ/Δ row and column
+    (:meth:`~repro.core.matrices.IncrementalArcMatrices.remove_arcs` —
+    exact entry copies, no recomputation), so later arities gather from
+    ever-smaller matrices.  On :class:`BudgetExceeded` from a
+    checkpoint the enumeration stops and the candidates built so far
+    are returned (anytime behavior); ``stats.budget_truncated`` records
+    the cut.
     """
     tracker = tracker if tracker is not None else as_tracker(None)
     tracer = current_tracer()
     n = matrices.size
-    names = matrices.arc_names
-    active: List[int] = list(range(n))
     top = n if max_arity is None else min(max_arity, n)
     max_bw = library.max_link_bandwidth()
 
     candidates: List[Candidate] = []
-    prev_survivors: Set[FrozenSet[int]] = set()
+    prev_survivors: Set[FrozenSet[str]] = set()
 
     for k in range(2, top + 1):
-        if len(active) < k:
+        if matrices.size < k:
             break
-        with tracer.span("candidates.arity", k=k, active=len(active)) as arity_span:
+        view = matrices.view()
+        names = view.arc_names
+        with tracer.span("candidates.arity", k=k, active=view.size) as arity_span:
             with tracer.span("candidates.prune", k=k):
                 survivors_k = _prune_arity(
-                    matrices, active, k, pruning, prev_survivors, max_bw, stats, tracker
+                    view, k, pruning, prev_survivors, max_bw, stats, tracker
                 )
             if survivors_k is None:
                 arity_span.set("budget_truncated", True)
@@ -808,13 +838,17 @@ def _enumerate_mergings(
                 arity_span.set("budget_truncated", True)
                 return candidates
 
-            # Theorem 3.1: arcs in no K-way merging leave the Γ matrix.
+            # Theorem 3.1: arcs in no K-way merging leave the Γ matrix
+            # (row/column deletion — an incremental update, not a
+            # recomputation).
             in_some = {i for subset in survivors_k for i in subset}
-            for i in list(active):
-                if i not in in_some:
-                    stats.retired_at_k[names[i]] = k
-                    active.remove(i)
-                    tracer.count("candidates.retired.theorem_3_1")
-            prev_survivors = {frozenset(s) for s in survivors_k}
+            retired = [names[i] for i in range(view.size) if i not in in_some]
+            for name in retired:
+                stats.retired_at_k[name] = k
+                tracer.count("candidates.retired.theorem_3_1")
+            matrices.remove_arcs(retired)
+            prev_survivors = {
+                frozenset(names[i] for i in s) for s in survivors_k
+            }
 
     return candidates

@@ -45,8 +45,10 @@ bandwidth):
     clusters along spatial median cuts.  Forced cuts break the
     certificate, so the boundary-merging **stitch pass** re-prices the
     2-way candidates crossing each cut (higher-arity cross-cut subsets
-    stay unexplored) and the result reports ``certified=False`` with
-    ``gap_bound=None`` — honest, not silently suboptimal.
+    stay unexplored) and the result reports ``certified=False`` with a
+    *sound, generally non-zero* ``gap_bound`` from the restricted
+    master LP's dual correction (:func:`_forced_gap_bound`) — honest,
+    not silently suboptimal.
 
 **Lazy column generation** (``strategy="colgen"``)
     Enumerate the pruning survivors (vectorized, cheap) but plan
@@ -93,7 +95,7 @@ from .candidates import (
 from .constraint_graph import ConstraintGraph
 from .exceptions import BudgetExceeded, InfeasibleError
 from .library import CommunicationLibrary, NodeKind
-from .matrices import ArcMatrices, compute_matrices
+from .matrices import ArcMatrices, IncrementalArcMatrices, compute_matrices
 from .merging import build_merging_plan, stage_cost
 from .pruning import PRUNE_TOL
 from .synthesis import (
@@ -151,8 +153,10 @@ class DecompositionReport:
     ``0.0`` with ``certified=True`` means provably optimal (the
     decomposition certificate held, or colgen exhausted its survivor
     universe); a positive certified value comes from colgen's LP dual
-    bound; ``None`` means no sound bound is available (forced splits,
-    budget truncation) — never a silent claim.
+    bound; a positive *uncertified* value on forced splits is the
+    restricted-master dual correction of :func:`_forced_gap_bound`;
+    ``None`` means no sound bound is available (LP failure, budget
+    truncation) — never a silent claim.
     """
 
     strategy: str
@@ -586,10 +590,11 @@ def synthesize_decomposed(
                 )
             mergings.extend(stitched)
             decomposition.certified = False
-            decomposition.gap_bound = None
+            decomposition.gap_bound = None  # honest bound computed post-solve
             decomposition.notes.append(
                 f"{forced} forced cut(s): cross-cut candidates beyond arity 2 "
-                f"were not explored; no sound gap bound is available"
+                f"were not explored; gap_bound is the restricted-master dual "
+                f"bound, not an optimality certificate"
             )
         else:
             decomposition.certified = not master.budget_truncated
@@ -623,12 +628,67 @@ def synthesize_decomposed(
             decomposition.certified = False
             decomposition.gap_bound = None
             decomposition.notes.append("covering solve degraded under budget")
+        elif forced:
+            with tracer.span("decompose.gap_bound"):
+                decomposition.gap_bound = _forced_gap_bound(
+                    graph, library, options, candidates, cover
+                )
+            if decomposition.gap_bound is None:
+                decomposition.notes.append("master LP failed; no dual bound")
 
         report = _degradation_report(tracker, "decompose", attempts, degraded, master)
         return _finish(
             graph, library, options, candidates, covering, cover, report,
             decomposition, journal, replayed is not None, start,
         )
+
+
+def _forced_gap_bound(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    options: SynthesisOptions,
+    candidates: CandidateSet,
+    cover: CoverSolution,
+) -> Optional[float]:
+    """A *sound* optimality-gap bound for forced-split runs.
+
+    Forced ``max_cluster_arcs`` cuts leave cross-cut mergings beyond
+    arity 2 unexplored, so the returned cover optimizes over a
+    restricted column pool.  The bound is Lasdon's dual correction:
+    solve the restricted master LP (objective ``z_r``, row duals
+    ``y``); an unexplored column covers at most ``m`` rows (the arity
+    cap, or ``n``) and — paying at least one mux and one demux — costs
+    at least ``node_floor``, so its dual constraint is violated by at
+    most ``v = max(0, Σ top-m duals − node_floor)``.  Singleton
+    columns are already in the pool at their exact optimal cost, so
+    they contribute no violation.  Some optimal full-universe LP
+    solution has total column multiplicity ≤ ``n`` (each ``x_j`` may
+    be capped at 1 and a basic solution has ≤ n positives), hence
+
+        ``z_full ≥ z_r − n·v``   ⇒   ``gap ≤ cover.weight − z_r + n·v``.
+
+    Honest by construction: never 0.0 unless the duals were in fact
+    feasible for the full universe (``v = 0``) *and* the cover matched
+    the LP bound.  ``None`` when the LP solver fails.
+    """
+    rows = [a.name for a in graph.arcs]
+    cols = [(frozenset(c.arc_names), c.cost) for c in candidates.all]
+    duals = solve_master_lp(rows, cols)
+    if duals is None:
+        return None
+    n = len(rows)
+    m = n if options.max_arity is None else min(options.max_arity, n)
+    mux = library.cheapest_node(NodeKind.MUX)
+    demux = library.cheapest_node(NodeKind.DEMUX)
+    if mux is None or demux is None:
+        # no merging column can exist at all: the pool (p2p + per-
+        # cluster singleton structures) is already the full universe
+        violation = 0.0
+    else:
+        node_floor = mux.cost + demux.cost
+        top = np.sort(duals.duals)[::-1][:m]
+        violation = max(0.0, float(np.sum(top)) - node_floor)
+    return max(0.0, cover.weight - duals.objective + n * violation)
 
 
 def _stitch_pass(
@@ -1026,22 +1086,23 @@ def _pruned_survivors(
     against the unexplored higher-arity columns.
     """
     tracer = current_tracer()
-    matrices = compute_matrices(graph)
+    matrices = IncrementalArcMatrices(graph)
     n = matrices.size
-    active: List[int] = list(range(n))
     top = n if options.max_arity is None else min(options.max_arity, n)
     max_bw = library.max_link_bandwidth()
-    names = matrices.arc_names
+    global_index = {name: i for i, name in enumerate(matrices.arc_names)}
 
     out: List[Tuple[int, ...]] = []
-    prev_survivors: Set[FrozenSet[int]] = set()
+    prev_survivors: Set[FrozenSet[str]] = set()
     for k in range(2, top + 1):
-        if len(active) < k:
+        if matrices.size < k:
             break
+        view = matrices.view()
+        names = view.arc_names
         try:
             with tracer.span("candidates.prune", k=k):
                 survivors_k = _prune_arity(
-                    matrices, active, k, options.pruning, prev_survivors, max_bw,
+                    view, k, options.pruning, prev_survivors, max_bw,
                     stats, tracker,
                 )
         except InfeasibleError:
@@ -1055,12 +1116,20 @@ def _pruned_survivors(
         stats.pruning_survivors_by_k[k] = len(survivors_k)
         if not survivors_k:
             break
-        out.extend(survivors_k)
+        # survivor tuples index the *compacted* matrices; translate
+        # back to positions in the original arc order for downstream
+        # (p2p weights, third-point cost bounds index by graph order)
+        out.extend(
+            tuple(global_index[names[i]] for i in subset)
+            for subset in survivors_k
+        )
         in_some = {i for subset in survivors_k for i in subset}
-        for i in list(active):
-            if i not in in_some:
-                stats.retired_at_k[names[i]] = k
-                active.remove(i)
-                tracer.count("candidates.retired.theorem_3_1")
-        prev_survivors = {frozenset(s) for s in survivors_k}
+        retired = [names[i] for i in range(view.size) if i not in in_some]
+        for nm in retired:
+            stats.retired_at_k[nm] = k
+            tracer.count("candidates.retired.theorem_3_1")
+        matrices.remove_arcs(retired)
+        prev_survivors = {
+            frozenset(names[i] for i in s) for s in survivors_k
+        }
     return out, None

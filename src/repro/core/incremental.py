@@ -33,10 +33,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from .candidates import Candidate, CandidateSet, GenerationStats, PruningLevel, generate_candidates
 from .constraint_graph import Arc, ConstraintGraph
 from .library import CommunicationLibrary
-from .matrices import compute_matrices
+from .matrices import IncrementalArcMatrices
 from .merging import build_merging_plan
 from .point_to_point import best_point_to_point
-from .pruning import subset_pruned
+from .pruning import PruningMemo, subset_pruned
 from .synthesis import SynthesisOptions, SynthesisResult, build_covering_problem, materialize_selection
 from ..covering.bnb import solve_cover
 
@@ -70,6 +70,22 @@ class IncrementalSynthesizer:
         self.options = options or SynthesisOptions()
         self._graph = graph
         self._candidates: Optional[CandidateSet] = None
+        #: incrementally maintained Γ/Δ/bandwidth matrices — arc
+        #: removal deletes a row/column, insertion appends one, so a
+        #: mutation costs O(n) distance evaluations instead of the
+        #: O(n²) full recomputation (bit-identical either way).
+        self._matrices: Optional[IncrementalArcMatrices] = None
+        #: memoized pruning verdicts, keyed by arc-name sets.  Lemma
+        #: 3.2 verdicts are geometry-only and survive bandwidth ECOs;
+        #: Theorem 3.2 verdicts are flushed when a bandwidth changes.
+        self._memo = PruningMemo()
+        #: last-seen endpoint/bandwidth signature per arc name, to
+        #: detect a re-added name whose attributes changed (which must
+        #: invalidate the corresponding memo generation).
+        self._seen: Dict[str, Tuple[object, object, float]] = {
+            a.name: (a.source.position, a.target.position, a.bandwidth)
+            for a in graph.arcs
+        }
         #: statistics: how many candidates were reused vs rebuilt by the
         #: last mutation batch.
         self.reused = 0
@@ -97,6 +113,8 @@ class IncrementalSynthesizer:
     def refresh(self) -> None:
         """Discard all cached candidates (full regeneration on next solve)."""
         self._candidates = None
+        self._matrices = None
+        self._memo.invalidate_geometry()
 
     # ------------------------------------------------------------------
     # mutations
@@ -116,6 +134,8 @@ class IncrementalSynthesizer:
         if len(kept_arcs) == len(self._graph.arcs):
             raise KeyError(f"no arc named {arc_name!r}")
         self._graph = self._rebuild_graph(kept_arcs)
+        if self._matrices is not None:
+            self._matrices.remove_arc(arc_name)
 
         p2p = [c for c in old.point_to_point if arc_name not in c.arc_names]
         mergings = [c for c in old.mergings if arc_name not in c.arc_names]
@@ -136,11 +156,27 @@ class IncrementalSynthesizer:
             Candidate(arc_names=(name,), cost=plan.cost, plan=plan)
         ]
 
-        # enumerate subsets containing the new arc, pruned as usual
-        matrices = compute_matrices(self._graph)
-        index = {a.name: i for i, a in enumerate(self._graph.arcs)}
-        others = [a.name for a in self._graph.arcs if a.name != name]
-        new_idx = index[name]
+        # a name can return with different attributes than it left
+        # with — stale memo verdicts for its old incarnation must die
+        prior = self._seen.get(name)
+        sig = (new_arc.source.position, new_arc.target.position, new_arc.bandwidth)
+        if prior is not None and prior != sig:
+            if prior[:2] != sig[:2]:
+                self._memo.invalidate_geometry()
+            else:
+                self._memo.invalidate_bandwidth()
+        self._seen[name] = sig
+
+        # enumerate subsets containing the new arc, pruned as usual —
+        # over incrementally extended matrices (one new Γ/Δ row, not a
+        # full O(n²) recomputation)
+        if self._matrices is None:
+            self._matrices = IncrementalArcMatrices(self._graph)
+        else:
+            self._matrices.add_arc(new_arc)
+        matrices = self._matrices.view()
+        index = {nm: i for i, nm in enumerate(matrices.arc_names)}
+        others = [nm for nm in matrices.arc_names if nm != name]
         top = self.options.max_arity or len(self._graph)
 
         new_mergings: List[Candidate] = []
@@ -150,7 +186,7 @@ class IncrementalSynthesizer:
             for combo in itertools.combinations(others, k - 1):
                 subset_names = tuple(sorted(combo + (name,)))
                 subset_idx = [index[n] for n in subset_names]
-                if subset_pruned(matrices, subset_idx, self.library):
+                if subset_pruned(matrices, subset_idx, self.library, memo=self._memo):
                     continue
                 merge_plan = build_merging_plan(self._graph, subset_names, self.library)
                 if merge_plan is None:

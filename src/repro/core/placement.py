@@ -37,14 +37,17 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
+from ..kernels import current_kernels
 from .geometry import EUCLIDEAN, Norm, Point, centroid
 
 __all__ = [
     "StageCost",
     "linear_stage",
     "PlacementResult",
+    "PlacementProblem",
     "weiszfeld",
     "optimize_two_points",
+    "optimize_two_points_batch",
 ]
 
 #: convergence tolerance for Weiszfeld iterations, relative to the
@@ -91,23 +94,25 @@ class PlacementResult:
     method: str
 
 
-def weiszfeld(
+def _weiszfeld_setup(
     anchors: Sequence[Point],
     weights: Sequence[float],
-    start: Optional[Point] = None,
-) -> Tuple[Point, int]:
-    """Weighted Fermat–Weber point: argmin_s Σ w_i ||x_i - s||_2.
+    start: Optional[Point],
+) -> Tuple[Optional[Point], Optional[tuple]]:
+    """Shared Weiszfeld preamble: filter, shortcuts, scaling.
 
-    Classic Weiszfeld iteration with ε-smoothing; returns the point and
-    the number of iterations used.  Zero-weight anchors are ignored; a
-    single effective anchor returns that anchor directly.
+    Returns ``(point, None)`` when the problem is solved outright (one
+    effective anchor, or an anchor satisfies the exact Fermat–Weber
+    optimality condition) or ``(None, task)`` with the iterate-loop
+    task tuple for the kernel backend.  Common to the single and
+    batched paths, so both see identical shortcut decisions.
     """
     pts = [p for p, w in zip(anchors, weights) if w > 0]
     ws = [w for w in weights if w > 0]
     if not pts:
         raise ValueError("weiszfeld needs at least one positively weighted anchor")
     if len(pts) == 1:
-        return pts[0], 0
+        return pts[0], None
 
     xs = np.array([p.x for p in pts])
     ys = np.array([p.y for p in pts])
@@ -115,7 +120,7 @@ def weiszfeld(
 
     anchor = _optimal_anchor(xs, ys, w)
     if anchor is not None:
-        return anchor, 0
+        return anchor, None
 
     if start is None:
         cx = float(np.average(xs, weights=w))
@@ -126,38 +131,29 @@ def weiszfeld(
     spread = max(xs.max() - xs.min(), ys.max() - ys.min(), 1.0)
     tol = _WEISZFELD_RTOL * spread
     smoothing = (_EPS * spread) ** 2
+    # Anchor counts are tiny (one per merged arc plus the coupled
+    # facility), so the task ships plain float lists: scalar backends
+    # iterate them directly, vectorized backends pad them into a batch.
+    return None, (xs.tolist(), ys.tolist(), w.tolist(), cx, cy, tol, smoothing)
 
-    # Scalar loop: anchor counts are tiny (one per merged arc plus the
-    # coupled facility), so plain floats beat numpy dispatch by ~10x.
-    axs = xs.tolist()
-    ays = ys.tolist()
-    aws = w.tolist()
-    iterations = 0
-    for iterations in range(1, _WEISZFELD_MAX_ITER + 1):
-        num_x = num_y = den = 0.0
-        for ax, ay, aw in zip(axs, ays, aws):
-            d2 = (ax - cx) ** 2 + (ay - cy) ** 2
-            if d2 == 0.0:
-                # An anchor coinciding with the current iterate exerts no
-                # directional pull (its gradient term is undefined); with
-                # only the smoothing in the denominator its huge coef
-                # would pin the iterate at the anchor — skip it instead,
-                # per the standard modified-Weiszfeld step.
-                continue
-            d = math.sqrt(d2 + smoothing)
-            coef = aw / d
-            num_x += coef * ax
-            num_y += coef * ay
-            den += coef
-        if den == 0.0:
-            # every anchor coincides with the iterate: nothing pulls
-            break
-        nx = num_x / den
-        ny = num_y / den
-        moved = max(abs(nx - cx), abs(ny - cy))
-        cx, cy = nx, ny
-        if moved < tol:
-            break
+
+def weiszfeld(
+    anchors: Sequence[Point],
+    weights: Sequence[float],
+    start: Optional[Point] = None,
+) -> Tuple[Point, int]:
+    """Weighted Fermat–Weber point: argmin_s Σ w_i ||x_i - s||_2.
+
+    Classic Weiszfeld iteration with ε-smoothing; returns the point and
+    the number of iterations used.  Zero-weight anchors are ignored; a
+    single effective anchor returns that anchor directly.  The iterate
+    loop runs on the active :mod:`repro.kernels` backend (bit-identical
+    across backends by contract).
+    """
+    point, task = _weiszfeld_setup(anchors, weights, start)
+    if point is not None:
+        return point, 0
+    cx, cy, iterations = current_kernels().weiszfeld_run(*task, _WEISZFELD_MAX_ITER)
     return Point(cx, cy), iterations
 
 
@@ -171,14 +167,21 @@ def _optimal_anchor(xs: np.ndarray, ys: np.ndarray, w: np.ndarray) -> Optional[P
     up front is a large practical speedup (and exact).
     """
     n = xs.size
+    # All pairwise rows at once; every entry is the same elementwise
+    # expression the per-row formulation computes (no reductions are
+    # moved, so the masked sums below keep their exact rounding).
+    DX = xs[None, :] - xs[:, None]
+    DY = ys[None, :] - ys[:, None]
+    DIST = np.sqrt(DX * DX + DY * DY)
+    thr = 1e-15 * np.maximum(1.0, DIST.max(axis=1))
     for i in range(n):
-        dx = xs - xs[i]
-        dy = ys - ys[i]
-        dist = np.sqrt(dx * dx + dy * dy)
-        here = dist <= 1e-15 * max(1.0, float(np.abs(dist).max()))
+        dx = DX[i]
+        dy = DY[i]
+        dist = DIST[i]
+        here = dist <= thr[i]
         weight_here = float(w[here].sum())
         away = ~here
-        if not np.any(away):
+        if not away.any():
             return Point(float(xs[i]), float(ys[i]))
         px = float(np.sum(w[away] * dx[away] / dist[away]))
         py = float(np.sum(w[away] * dy[away] / dist[away]))
@@ -350,6 +353,155 @@ def _alternating_weiszfeld(
             break
         prev = cur
     return PlacementResult(s, t, F(s, t), total_iters, "weiszfeld")
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One :func:`optimize_two_points` call, as data — the unit of
+    :func:`optimize_two_points_batch`."""
+
+    sources: Tuple[Point, ...]
+    sinks: Tuple[Point, ...]
+    feeder_costs: Tuple[StageCost, ...]
+    trunk_cost: StageCost
+    distributor_costs: Tuple[StageCost, ...]
+    norm: Norm = EUCLIDEAN
+    polish: bool = True
+
+
+def optimize_two_points_batch(
+    problems: Sequence[PlacementProblem],
+) -> List[PlacementResult]:
+    """Solve many independent placement problems, batching where it pays.
+
+    Result ``i`` is **bit-identical** to
+    ``optimize_two_points(*problems[i])``: problems on the fully-linear
+    Euclidean path run their alternating-Weiszfeld rounds in *lockstep*
+    (each round's Fermat–Weber half-steps across all still-active
+    problems form one kernel batch — the per-problem iterate map is
+    unchanged, so the trajectories are the solo ones); every other
+    problem (nonlinear costs, non-Euclidean norms, degenerate pinned
+    pairs) falls through to the serial solver unchanged.
+    """
+    results: List[Optional[PlacementResult]] = [None] * len(problems)
+    lockstep: List[Tuple[int, tuple]] = []
+    for i, p in enumerate(problems):
+        if not p.sources or not p.sinks:
+            raise ValueError("need at least one source and one sink")
+        if len(p.sources) != len(p.feeder_costs) or len(p.sinks) != len(p.distributor_costs):
+            raise ValueError("one stage-cost per source/sink required")
+        pinned_s = _all_same(list(p.sources))
+        pinned_t = _all_same(list(p.sinks))
+        all_linear = (
+            p.trunk_cost.is_linear
+            and all(c.is_linear for c in p.feeder_costs)
+            and all(c.is_linear for c in p.distributor_costs)
+        )
+        if (
+            all_linear
+            and p.norm.name == "euclidean"
+            and not (pinned_s is not None and pinned_t is not None)
+        ):
+            F = _objective(
+                p.norm, p.sources, p.sinks, p.feeder_costs, p.trunk_cost,
+                p.distributor_costs,
+            )
+            lockstep.append((i, (p, F, pinned_s, pinned_t)))
+        else:
+            results[i] = optimize_two_points(
+                p.sources, p.sinks, p.feeder_costs, p.trunk_cost,
+                p.distributor_costs, norm=p.norm, polish=p.polish,
+            )
+
+    if lockstep:
+        solved = _alternating_weiszfeld_lockstep([item for _, item in lockstep])
+        for (i, _), res in zip(lockstep, solved):
+            results[i] = res
+    return results  # type: ignore[return-value]
+
+
+def _alternating_weiszfeld_lockstep(
+    items: Sequence[tuple],
+) -> List[PlacementResult]:
+    """Run many alternating-Weiszfeld descents through one kernel pump.
+
+    ``items`` are ``(problem, F, pinned_s, pinned_t)`` tuples, all on
+    the fully-linear Euclidean path.  Each problem is an independent
+    state machine (s half-step → t half-step → round convergence
+    check); whenever a half-step needs the iterate loop, its task goes
+    into a shared :meth:`~repro.kernels.base.KernelBackend.weiszfeld_pump`
+    and the *next* half-step is submitted the moment the previous one
+    finishes.  Problems therefore never wait for each other at round
+    boundaries — a vectorized backend keeps one wide batch busy instead
+    of draining a thinning batch per round — while each problem runs
+    the exact serial sequence of half-steps on the exact serial
+    iterates: what any single problem computes never changes, only
+    which problems happen to iterate together.
+    """
+    backend = current_kernels()
+    m = len(items)
+    s: List[Point] = []
+    t: List[Point] = []
+    prev: List[float] = []
+    iters = [0] * m
+    rounds = [0] * m
+    for p, F, pinned_s, pinned_t in items:
+        s.append(pinned_s if pinned_s is not None else centroid(list(p.sources)))
+        t.append(pinned_t if pinned_t is not None else centroid(list(p.sinks)))
+        prev.append(F(s[-1], t[-1]))
+
+    pump = backend.weiszfeld_pump(_WEISZFELD_MAX_ITER)
+
+    def drive(i: int, phase: str) -> None:
+        """Advance problem ``i`` until it submits a pump task or its
+        descent converges.  ``phase`` is the next thing to do: "s"/"t"
+        half-step or the end-of-round convergence "check"."""
+        p, F, pinned_s, pinned_t = items[i]
+        while True:
+            if phase == "s":
+                phase = "t"
+                if pinned_s is None:
+                    anchors = list(p.sources) + [t[i]]
+                    weights = [c.slope for c in p.feeder_costs] + [p.trunk_cost.slope]
+                    point, task = _weiszfeld_setup(anchors, weights, s[i])
+                    if point is None:
+                        pump.inject((i, "s"), task)
+                        return
+                    s[i] = point
+            elif phase == "t":
+                phase = "check"
+                if pinned_t is None:
+                    anchors = list(p.sinks) + [s[i]]
+                    weights = [c.slope for c in p.distributor_costs] + [p.trunk_cost.slope]
+                    point, task = _weiszfeld_setup(anchors, weights, t[i])
+                    if point is None:
+                        pump.inject((i, "t"), task)
+                        return
+                    t[i] = point
+            else:  # end of round: the serial convergence test
+                rounds[i] += 1
+                cur = F(s[i], t[i])
+                if prev[i] - cur < 1e-12 * max(1.0, abs(prev[i])) or rounds[i] >= 60:
+                    return
+                prev[i] = cur
+                phase = "s"
+
+    for i in range(m):
+        drive(i, "s")
+    while pump.in_flight:
+        for (i, side), x, y, it in pump.pump():
+            iters[i] += it
+            if side == "s":
+                s[i] = Point(x, y)
+                drive(i, "t")
+            else:
+                t[i] = Point(x, y)
+                drive(i, "check")
+
+    return [
+        PlacementResult(s[i], t[i], items[i][1](s[i], t[i]), iters[i], "weiszfeld")
+        for i in range(m)
+    ]
 
 
 def _nelder_mead(

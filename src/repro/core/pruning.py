@@ -36,10 +36,11 @@ All predicates answer "is this subset *certainly not* mergeable?";
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels import current_kernels
 from ..obs import current_tracer
 from .library import CommunicationLibrary
 from .matrices import ArcMatrices
@@ -52,6 +53,7 @@ __all__ = [
     "theorem_3_2_not_mergeable",
     "theorem_3_2_not_mergeable_batch",
     "subset_pruned",
+    "PruningMemo",
 ]
 
 #: relative tolerance for the <= comparisons: equality (collinear or
@@ -80,15 +82,12 @@ def lemma_3_2_not_mergeable(matrices: ArcMatrices, indices: Sequence[int]) -> bo
     idx = np.asarray(indices, dtype=int)
     if idx.size < 2:
         raise ValueError("mergings involve at least two arcs")
-    gamma_block = matrices.gamma[np.ix_(idx, idx)]
-    delta_block = matrices.delta[np.ix_(idx, idx)]
-    # Column sums over the subset exclude the pivot's diagonal entry.
-    gamma_sums = gamma_block.sum(axis=0) - np.diag(gamma_block)
-    delta_sums = delta_block.sum(axis=0)  # Δ diagonal is zero by construction
-    for g, d in zip(gamma_sums, delta_sums):
-        if _leq(float(g), float(d)):
-            return True
-    return False
+    # One-row batch through the active kernel backend: scalar and
+    # batched calls share one implementation (hence one verdict).
+    verdict = current_kernels().lemma_3_2_batch(
+        matrices.gamma, matrices.delta, idx[None, :], PRUNE_TOL
+    )
+    return bool(verdict[0])
 
 
 def lemma_3_2_not_mergeable_batch(
@@ -99,22 +98,17 @@ def lemma_3_2_not_mergeable_batch(
 
     ``subsets`` is an ``(m, k)`` integer array of arc indices; the
     result is a boolean ``(m,)`` vector, ``True`` ⇒ certainly not
-    mergeable.  Equivalent to ``lemma_3_2_not_mergeable`` row by row
-    (same reduction order over the same float64 values, so the verdicts
-    are bit-identical), but one gather + reduction per batch instead of
-    one ``np.ix_`` block per subset.
+    mergeable.  Equivalent to ``lemma_3_2_not_mergeable`` row by row —
+    both dispatch to the active :mod:`repro.kernels` backend, whose
+    contract fixes the reduction order (sequential, left to right), so
+    the verdicts are bit-identical across backends and batch shapes.
     """
     s = np.asarray(subsets, dtype=int)
     if s.ndim != 2 or s.shape[1] < 2:
         raise ValueError("subset batch must be (m, k) with k >= 2")
-    # blocks[i, a, b] = M[s[i, a], s[i, b]]; summing axis 1 gives, per
-    # subset, the column sums of its Γ/Δ block (one column per pivot).
-    gamma_blocks = matrices.gamma[s[:, :, None], s[:, None, :]]
-    delta_blocks = matrices.delta[s[:, :, None], s[:, None, :]]
-    gamma_sums = gamma_blocks.sum(axis=1) - np.diagonal(gamma_blocks, axis1=1, axis2=2)
-    delta_sums = delta_blocks.sum(axis=1)  # Δ diagonal is zero by construction
-    scale = np.maximum(1.0, np.maximum(np.abs(gamma_sums), np.abs(delta_sums)))
-    return np.any(gamma_sums <= delta_sums + PRUNE_TOL * scale, axis=1)
+    if s.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return current_kernels().lemma_3_2_batch(matrices.gamma, matrices.delta, s, PRUNE_TOL)
 
 
 def theorem_3_2_not_mergeable(
@@ -132,10 +126,8 @@ def theorem_3_2_not_mergeable(
     b = np.asarray(bandwidths, dtype=float)
     if b.size < 2:
         raise ValueError("mergings involve at least two arcs")
-    total = float(b.sum())
-    threshold = max_link_bandwidth + float(b.min())
-    scale = max(1.0, abs(total), abs(threshold))
-    return total >= threshold + PRUNE_TOL * scale or total == threshold
+    verdict = current_kernels().theorem_3_2_batch(b[None, :], max_link_bandwidth, PRUNE_TOL)
+    return bool(verdict[0])
 
 
 def theorem_3_2_not_mergeable_batch(
@@ -150,22 +142,102 @@ def theorem_3_2_not_mergeable_batch(
     b = np.asarray(bandwidth_subsets, dtype=float)
     if b.ndim != 2 or b.shape[1] < 2:
         raise ValueError("bandwidth batch must be (m, k) with k >= 2")
-    total = b.sum(axis=1)
-    threshold = max_link_bandwidth + b.min(axis=1)
-    scale = np.maximum(1.0, np.maximum(np.abs(total), np.abs(threshold)))
-    return (total >= threshold + PRUNE_TOL * scale) | (total == threshold)
+    if b.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    return current_kernels().theorem_3_2_batch(b, max_link_bandwidth, PRUNE_TOL)
+
+
+class PruningMemo:
+    """Caches per-subset pruning verdicts, keyed by arc *names*.
+
+    The two predicates have different invalidation profiles, so their
+    verdicts are memoized separately:
+
+    - **Lemma 3.2** depends only on geometry (Γ/Δ entries).  A
+      bandwidth edit — the common ECO — leaves every lemma verdict
+      valid, so :meth:`invalidate_bandwidth` keeps them.
+    - **Theorem 3.2** depends on bandwidths (and the library's fastest
+      link), so bandwidth edits flush it.
+
+    Name keys (not indices) survive arc reordering and matrix
+    compaction.  No cross-*arity* table is needed for Theorem 3.2:
+    the predicate itself is superset-monotone (adding a member grows
+    the sum and can only shrink the min), so re-evaluating a superset
+    directly already prunes everything a subset-lookup would.
+
+    The memo is an *optional* argument to :func:`subset_pruned` — the
+    repeated-check paths (ECO updates in
+    :mod:`repro.core.incremental`, the greedy baseline's local search)
+    thread one through; one-shot callers pay nothing.
+    """
+
+    def __init__(self) -> None:
+        self._lemma: Dict[FrozenSet[str], bool] = {}
+        self._theorem: Dict[FrozenSet[str], bool] = {}
+
+    def invalidate_bandwidth(self) -> None:
+        """Bandwidths (or the library's links) changed: geometry-only
+        lemma verdicts survive, bandwidth verdicts do not."""
+        self._theorem.clear()
+
+    def invalidate_geometry(self) -> None:
+        """Endpoint positions changed: every verdict is void."""
+        self._lemma.clear()
+        self._theorem.clear()
+
+    def __len__(self) -> int:
+        return len(self._lemma) + len(self._theorem)
+
+    # ------------------------------------------------------------------
+    def lemma(self, matrices: ArcMatrices, indices: Sequence[int]) -> bool:
+        key = frozenset(matrices.arc_names[i] for i in indices)
+        hit = self._lemma.get(key)
+        if hit is None:
+            hit = lemma_3_2_not_mergeable(matrices, indices)
+            self._lemma[key] = hit
+            current_tracer().count("pruning.memo.misses")
+        else:
+            current_tracer().count("pruning.memo.hits")
+        return hit
+
+    def theorem(
+        self,
+        matrices: ArcMatrices,
+        indices: Sequence[int],
+        max_link_bandwidth: float,
+    ) -> bool:
+        key = frozenset(matrices.arc_names[i] for i in indices)
+        hit = self._theorem.get(key)
+        if hit is None:
+            bandwidths = [float(matrices.bandwidth[i]) for i in indices]
+            hit = theorem_3_2_not_mergeable(bandwidths, max_link_bandwidth)
+            self._theorem[key] = hit
+            current_tracer().count("pruning.memo.misses")
+        else:
+            current_tracer().count("pruning.memo.hits")
+        return hit
 
 
 def subset_pruned(
     matrices: ArcMatrices,
     indices: Sequence[int],
     library: CommunicationLibrary,
+    memo: Optional[PruningMemo] = None,
 ) -> bool:
     """Combined pruning: True when *any* of the sufficient conditions
     (Lemma 3.2 geometric, Theorem 3.2 bandwidth) certifies the subset
-    as not mergeable."""
+    as not mergeable.  ``memo`` (a :class:`PruningMemo`) short-circuits
+    repeated checks of the same arc group across calls."""
     tracer = current_tracer()
     tracer.count("pruning.checks")
+    if memo is not None:
+        if memo.lemma(matrices, indices):
+            tracer.count("pruning.lemma_3_2.hits")
+            return True
+        if memo.theorem(matrices, indices, library.max_link_bandwidth()):
+            tracer.count("pruning.theorem_3_2.hits")
+            return True
+        return False
     if lemma_3_2_not_mergeable(matrices, indices):
         tracer.count("pruning.lemma_3_2.hits")
         return True

@@ -25,6 +25,7 @@ if TYPE_CHECKING:  # circular at runtime: decompose builds on this module
 from ..covering.bnb import SolverOptions, solve_cover
 from ..covering.ilp import solve_ilp
 from ..covering.matrix import Column, CoverSolution, CoveringProblem
+from ..kernels import current_kernels, resolve_backend, use_kernels
 from ..obs import NULL_TRACER, Tracer, current_tracer, tracing
 from ..runtime.budget import Budget, BudgetTracker, as_tracker
 from ..runtime.checkpoint import CheckpointJournal, instance_fingerprint
@@ -153,6 +154,15 @@ class SynthesisOptions:
     #: certificate (the stitch pass re-prices 2-way cross-cut
     #: candidates; ``gap_bound`` becomes ``None``).
     max_cluster_arcs: Optional[int] = None
+    #: compute-kernel backend for the numeric hot paths (Weiszfeld
+    #: iterations, batched Lemma 3.2 / Theorem 3.2 predicates, Δ matrix
+    #: fill): ``"python"`` (pure-python reference), ``"numpy"``,
+    #: ``"numba"`` (when installed), or ``None``/``"auto"`` to honour
+    #: the ``REPRO_KERNELS`` environment variable and fall back to the
+    #: fastest available backend.  Every backend is bit-identical on
+    #: result JSON — an execution knob, not a semantic one — so it is
+    #: excluded from checkpoint fingerprints.  See :mod:`repro.kernels`.
+    kernels: Optional[str] = None
 
 
 @dataclass
@@ -311,10 +321,21 @@ def synthesize(
     else:
         tracer = trace
 
-    if tracer is None:
-        return _synthesize_traced(graph, library, options, budget)
-    with tracing(tracer):
-        result = _synthesize_traced(graph, library, options, budget)
+    if options.kernels is None:
+        # honour an ambient ``use_kernels(...)`` scope (or the process
+        # default a pool-worker initializer installed)
+        backend = current_kernels()
+    else:
+        try:
+            backend = resolve_backend(options.kernels)
+        except (ValueError, RuntimeError) as exc:
+            raise SynthesisError(str(exc)) from None
+
+    with use_kernels(backend):
+        if tracer is None:
+            return _synthesize_traced(graph, library, options, budget)
+        with tracing(tracer):
+            result = _synthesize_traced(graph, library, options, budget)
     result.trace = tracer
     return result
 

@@ -1,0 +1,149 @@
+"""Optional numba JIT backend — same loops as the reference, compiled.
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the registry treats that as "backend unavailable" (auto
+selection falls through to numpy, and requesting ``numba`` explicitly
+fails loudly).
+
+The kernels are the *reference loops verbatim* under ``@njit`` — same
+statement order, same sequential accumulation, same branches — so the
+LLVM-compiled code performs the identical IEEE-754 double operations
+(``fastmath`` stays off; numba's default float semantics are strict).
+``math.hypot`` is still avoided for the same reason as everywhere else
+(no bitwise guarantee across libm implementations), so
+:meth:`delta_matrix` keeps the scalar fallback for the Euclidean norm.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from numba import njit  # ImportError here = backend unavailable
+
+from .base import KernelBackend, WeiszfeldTask
+
+__all__ = ["NumbaKernels"]
+
+
+@njit(cache=True)
+def _weiszfeld_run_jit(axs, ays, aws, cx, cy, tol, smoothing, max_iter):
+    iterations = 0
+    for it in range(1, max_iter + 1):
+        iterations = it
+        num_x = 0.0
+        num_y = 0.0
+        den = 0.0
+        for i in range(axs.shape[0]):
+            ax = axs[i]
+            ay = ays[i]
+            d2 = (ax - cx) ** 2 + (ay - cy) ** 2
+            if d2 == 0.0:
+                continue
+            d = np.sqrt(d2 + smoothing)
+            coef = aws[i] / d
+            num_x += coef * ax
+            num_y += coef * ay
+            den += coef
+        if den == 0.0:
+            break
+        nx = num_x / den
+        ny = num_y / den
+        moved = max(abs(nx - cx), abs(ny - cy))
+        cx = nx
+        cy = ny
+        if moved < tol:
+            break
+    return cx, cy, iterations
+
+
+@njit(cache=True)
+def _lemma_3_2_jit(gamma, delta, subsets, tol):
+    m, k = subsets.shape
+    out = np.zeros(m, dtype=np.bool_)
+    for r in range(m):
+        for pj in range(k):
+            p = subsets[r, pj]
+            gsum = 0.0
+            dsum = 0.0
+            for ij in range(k):
+                i = subsets[r, ij]
+                gsum += gamma[i, p]
+                dsum += delta[i, p]
+            gsum -= gamma[p, p]
+            scale = max(1.0, abs(gsum), abs(dsum))
+            if gsum <= dsum + tol * scale:
+                out[r] = True
+                break
+    return out
+
+
+@njit(cache=True)
+def _theorem_3_2_jit(bandwidths, max_link_bandwidth, tol):
+    m, k = bandwidths.shape
+    out = np.zeros(m, dtype=np.bool_)
+    for r in range(m):
+        total = 0.0
+        mn = bandwidths[r, 0]
+        for i in range(k):
+            b = bandwidths[r, i]
+            total += b
+            if b < mn:
+                mn = b
+        threshold = max_link_bandwidth + mn
+        scale = max(1.0, abs(total), abs(threshold))
+        out[r] = total >= threshold + tol * scale or total == threshold
+    return out
+
+
+class NumbaKernels(KernelBackend):
+    """JIT-compiled scalar loops (reference order, strict float math)."""
+
+    name = "numba"
+
+    def weiszfeld_run(
+        self,
+        axs: Sequence[float],
+        ays: Sequence[float],
+        aws: Sequence[float],
+        cx: float,
+        cy: float,
+        tol: float,
+        smoothing: float,
+        max_iter: int,
+    ) -> Tuple[float, float, int]:
+        x, y, it = _weiszfeld_run_jit(
+            np.asarray(axs, dtype=np.float64),
+            np.asarray(ays, dtype=np.float64),
+            np.asarray(aws, dtype=np.float64),
+            cx, cy, tol, smoothing, max_iter,
+        )
+        return float(x), float(y), int(it)
+
+    # batch: inherited loop over weiszfeld_run — the loop body is
+    # compiled, which is where the time goes.
+
+    def lemma_3_2_batch(
+        self,
+        gamma: np.ndarray,
+        delta: np.ndarray,
+        subsets: np.ndarray,
+        tol: float,
+    ) -> np.ndarray:
+        return np.asarray(
+            _lemma_3_2_jit(gamma, delta, np.ascontiguousarray(subsets), tol)
+        )
+
+    def theorem_3_2_batch(
+        self,
+        bandwidths: np.ndarray,
+        max_link_bandwidth: float,
+        tol: float,
+    ) -> np.ndarray:
+        return np.asarray(
+            _theorem_3_2_jit(
+                np.ascontiguousarray(bandwidths, dtype=np.float64),
+                max_link_bandwidth,
+                tol,
+            )
+        )

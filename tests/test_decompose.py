@@ -127,13 +127,19 @@ class TestDecomposeStrategy:
         d = r.decomposition
         assert d.forced_splits > 0
         assert not d.certified
-        assert d.gap_bound is None
+        # forced splits report an *honest* dual gap bound — never a
+        # certified 0.0 (the unexplored cross-cut columns could still
+        # improve the cover, and the bound must admit that)
+        assert d.gap_bound is not None
+        assert d.gap_bound > 0.0
         assert d.notes
         # the stitch pass still re-prices cross-cut pairs, so a forced
         # split costs at most the unexplored >2-way cross candidates
         exact = synthesize(graph, library, SynthesisOptions(strategy="exact", max_arity=2))
         assert r.total_cost <= sum(c.cost for c in r.candidates.point_to_point) + 1e-9
         assert r.total_cost >= exact.total_cost - 1e-9
+        # the bound is sound: it dominates the run's true optimality gap
+        assert r.total_cost - exact.total_cost <= d.gap_bound + 1e-9
 
     def _second_cluster_p2p_fault(self, graph, library):
         """A timeout injected into the *second* cluster's p2p pass."""

@@ -1,0 +1,328 @@
+"""Differential equivalence pack for the :mod:`repro.kernels` backends.
+
+The kernels layer promises *bit-identity*: switching the compute
+backend (``python`` reference, ``numpy`` vectorized, ``numba`` JIT)
+never changes a single bit of a synthesis result.  This pack holds it
+to that promise three ways:
+
+- **Conformance differential** — every registry domain synthesized
+  under every available backend must produce a result JSON
+  (volatile keys stripped) byte-equal to the pure-python run, and the
+  distilled golden record must equal the committed fixture *exactly*
+  (no ``approx``).
+- **Random-instance differential** — a seeded sweep of generated
+  instances (clustered / uniform / star / ring topologies, random
+  libraries, varied norms) with the same byte-equality bar.
+- **Property tests** — the incremental Γ/Δ maintenance equals a fresh
+  recomputation after arbitrary removal/insertion sequences, batched
+  kernel predicates equal their scalar counterparts row by row, and
+  the lockstep Weiszfeld batch equals per-problem solo runs.
+
+Backends that are not importable (``numba`` is optional and not
+installed in the baseline image) auto-skip.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SynthesisOptions, synthesize
+from repro.batch.runner import stable_result_dict
+from repro.core.matrices import IncrementalArcMatrices, compute_matrices
+from repro.core.constraint_graph import ConstraintGraph
+from repro.domains.conformance import CONFORMANCE_CASES, conformance_record
+from repro.kernels import (
+    KERNEL_BACKENDS,
+    available_backends,
+    resolve_backend,
+    use_kernels,
+)
+from repro.netgen import (
+    clustered_graph,
+    random_library,
+    ring_graph,
+    star_graph,
+    two_tier_library,
+    uniform_graph,
+)
+
+AVAILABLE = available_backends()
+
+#: every backend the registry knows, with auto-skip for missing ones —
+#: so an environment that *does* have numba exercises it for free.
+ALL_BACKENDS = [
+    pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            name not in AVAILABLE, reason=f"backend {name!r} not importable"
+        ),
+    )
+    for name in KERNEL_BACKENDS
+]
+ACCELERATED = [p for p in ALL_BACKENDS if p.values[0] != "python"]
+
+
+def _canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _solve_stable(graph, library, backend, **opts) -> str:
+    result = synthesize(graph, library, SynthesisOptions(kernels=backend, **opts))
+    return _canonical(stable_result_dict(result))
+
+
+# ----------------------------------------------------------------------
+# conformance pack under every backend
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden():
+    import pathlib
+
+    fixture = pathlib.Path(__file__).parent / "fixtures" / "conformance.json"
+    return json.loads(fixture.read_text())
+
+
+@pytest.fixture(scope="module")
+def python_records():
+    with use_kernels("python"):
+        return {name: conformance_record(name) for name in CONFORMANCE_CASES}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize("name", list(CONFORMANCE_CASES))
+def test_conformance_record_bit_identical(name, backend, python_records, golden):
+    """Satellite: all six pinned domain optima are *bit*-identical
+    under every backend — exact ``==`` on every float, not approx."""
+    with use_kernels(backend):
+        record = conformance_record(name)
+    assert _canonical(record) == _canonical(python_records[name])
+    # and the pure-python reference itself matches the committed golden
+    # exactly, so the chain fixture == python == backend is closed
+    assert record["total_cost"] == golden[name]["total_cost"]
+    assert record["selected"] == golden[name]["selected"]
+
+
+@pytest.mark.parametrize("backend", ACCELERATED)
+@pytest.mark.parametrize("name", list(CONFORMANCE_CASES))
+def test_conformance_full_result_json_bit_identical(name, backend):
+    """The *entire* stable result document — implementation graph,
+    cover, candidate costs — is byte-equal across backends."""
+    builder, max_arity = CONFORMANCE_CASES[name]
+    graph, library = builder()
+    baseline = _solve_stable(graph, library, "python", max_arity=max_arity)
+    graph, library = builder()  # fresh instance: no shared mutable state
+    assert _solve_stable(graph, library, backend, max_arity=max_arity) == baseline
+
+
+# ----------------------------------------------------------------------
+# seeded random-instance differential sweep
+# ----------------------------------------------------------------------
+
+
+def _random_instance(seed: int):
+    """A small but varied instance per seed: topology, library and
+    pipeline options all rotate so the sweep crosses every hot path
+    (placement, pruning batches, Δ fill, heterogeneous chains)."""
+    from repro.core.geometry import CHEBYSHEV, EUCLIDEAN, MANHATTAN
+
+    norm = (EUCLIDEAN, MANHATTAN, CHEBYSHEV)[seed % 3]
+    kind = seed % 4
+    if kind == 0:
+        graph = clustered_graph(
+            n_clusters=2, ports_per_cluster=3, n_arcs=5 + seed % 3,
+            separation=60.0, seed=seed, norm=norm,
+        )
+    elif kind == 1:
+        graph = uniform_graph(n_ports=6, n_arcs=5 + seed % 4, seed=seed, norm=norm)
+    elif kind == 2:
+        graph = star_graph(n_leaves=4 + seed % 3, inbound=bool(seed % 2))
+    else:
+        graph = ring_graph(n_nodes=5 + seed % 3)
+    library = (
+        two_tier_library() if seed % 2 == 0 else random_library(seed=seed)
+    )
+    options = {
+        "max_arity": 3,
+        "heterogeneous": seed % 5 == 0,
+        "polish_placement": seed % 3 != 2,
+    }
+    return graph, library, options
+
+
+SWEEP_SEEDS = list(range(24))
+
+
+@pytest.mark.parametrize("backend", ACCELERATED)
+@pytest.mark.parametrize("seed", SWEEP_SEEDS)
+def test_random_instances_bit_identical(seed, backend):
+    graph, library, options = _random_instance(seed)
+    baseline = _solve_stable(graph, library, "python", **options)
+    graph, library, options = _random_instance(seed)
+    assert _solve_stable(graph, library, backend, **options) == baseline
+
+
+# ----------------------------------------------------------------------
+# incremental Γ/Δ maintenance == recompute from scratch (property)
+# ----------------------------------------------------------------------
+
+
+def _rebuild(graph: ConstraintGraph, arcs) -> ConstraintGraph:
+    g = ConstraintGraph(norm=graph.norm, name=graph.name)
+    for port in graph.ports:
+        g.add_port(port.name, port.position, port.module)
+    for arc in arcs:
+        g.add_arc(arc)
+    return g
+
+
+def _assert_matrices_exact(view, reference):
+    assert view.arc_names == reference.arc_names
+    assert np.array_equal(view.bandwidth, reference.bandwidth)
+    assert np.array_equal(view.gamma, reference.gamma)
+    assert np.array_equal(view.delta, reference.delta)
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_incremental_matrices_equal_recompute_under_any_edit_sequence(data):
+    """Satellite: after *any* interleaving of arc removals and
+    re-insertions, the incrementally maintained Γ/Δ/bandwidth equal a
+    fresh ``compute_matrices`` over the surviving subgraph — exactly,
+    to the last bit (``np.array_equal``, no tolerance)."""
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    graph = uniform_graph(n_ports=6, n_arcs=data.draw(st.integers(3, 9)), seed=seed)
+    inc = IncrementalArcMatrices(graph)
+    current = list(graph.arcs)
+    removed = []
+
+    n_ops = data.draw(st.integers(1, 8), label="n_ops")
+    for _ in range(n_ops):
+        can_remove = len(current) > 1
+        can_add = bool(removed)
+        if can_remove and (not can_add or data.draw(st.booleans(), label="remove?")):
+            victim = current.pop(data.draw(st.integers(0, len(current) - 1)))
+            removed.append(victim)
+            inc.remove_arc(victim.name)
+        elif can_add:
+            back = removed.pop(data.draw(st.integers(0, len(removed) - 1)))
+            current.append(back)
+            inc.add_arc(back)
+        _assert_matrices_exact(inc.view(), compute_matrices(_rebuild(graph, current)))
+
+
+def test_bulk_removal_equals_recompute():
+    graph = clustered_graph(n_clusters=2, ports_per_cluster=4, n_arcs=10, seed=7)
+    inc = IncrementalArcMatrices(graph)
+    drop = [a.name for a in graph.arcs][::3]
+    inc.remove_arcs(drop)
+    survivors = [a for a in graph.arcs if a.name not in set(drop)]
+    _assert_matrices_exact(inc.view(), compute_matrices(_rebuild(graph, survivors)))
+    assert inc.updates == len(drop)
+
+
+# ----------------------------------------------------------------------
+# kernel primitives: batch == scalar, backend == backend
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def _pruning_problem(draw):
+    n = draw(st.integers(3, 8))
+    finite = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+    d = np.array([draw(finite) for _ in range(n)])
+    gamma = d[:, None] + d[None, :]
+    half = np.array([[draw(finite) for _ in range(n)] for _ in range(n)])
+    delta = half + half.T  # symmetric, like the real Δ
+    np.fill_diagonal(delta, 0.0)
+    k = draw(st.integers(2, min(4, n)))
+    m = draw(st.integers(1, 6))
+    subsets = np.array(
+        [draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k, unique=True))
+         for _ in range(m)]
+    )
+    bandwidths = np.array([[draw(st.floats(1.0, 1e4)) for _ in range(k)] for _ in range(m)])
+    max_bw = draw(st.floats(1.0, 1e4))
+    return gamma, delta, subsets, bandwidths, max_bw
+
+
+@pytest.mark.parametrize("backend", ACCELERATED)
+@given(problem=_pruning_problem())
+@settings(max_examples=60, deadline=None)
+def test_predicate_batches_match_python_backend(backend, problem):
+    gamma, delta, subsets, bandwidths, max_bw = problem
+    ref = resolve_backend("python")
+    fast = resolve_backend(backend)
+    assert np.array_equal(
+        fast.lemma_3_2_batch(gamma, delta, subsets, 1e-9),
+        ref.lemma_3_2_batch(gamma, delta, subsets, 1e-9),
+    )
+    assert np.array_equal(
+        fast.theorem_3_2_batch(bandwidths, max_bw, 1e-9),
+        ref.theorem_3_2_batch(bandwidths, max_bw, 1e-9),
+    )
+
+
+@st.composite
+def _weiszfeld_tasks(draw):
+    m = draw(st.integers(1, 7))
+    coord = st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False)
+    tasks = []
+    for _ in range(m):
+        k = draw(st.integers(1, 6))
+        axs = [draw(coord) for _ in range(k)]
+        ays = [draw(coord) for _ in range(k)]
+        aws = [draw(st.floats(0.1, 100.0)) for _ in range(k)]
+        cx = math.fsum(axs) / k
+        cy = math.fsum(ays) / k
+        spread = max(max(axs) - min(axs), max(ays) - min(ays), 1.0)
+        tasks.append((axs, ays, aws, cx, cy, 1e-9 * spread, (1e-12 * spread) ** 2))
+    return tasks
+
+
+@pytest.mark.parametrize("backend", ACCELERATED)
+@given(tasks=_weiszfeld_tasks())
+@settings(max_examples=60, deadline=None)
+def test_lockstep_weiszfeld_batch_matches_solo_runs(backend, tasks):
+    """The lockstep batch (zero-weight padding, per-row convergence
+    masks, scalar straggler tail) replays each problem's solo
+    trajectory exactly: same point bits, same iteration count."""
+    ref = resolve_backend("python")
+    fast = resolve_backend(backend)
+    solo = [ref.weiszfeld_run(*task, 2000) for task in tasks]
+    batch = fast.weiszfeld_run_batch(tasks, 2000)
+    assert batch == solo
+
+
+# ----------------------------------------------------------------------
+# backend selection plumbing
+# ----------------------------------------------------------------------
+
+
+def test_python_backend_always_available():
+    assert "python" in AVAILABLE
+    assert "numpy" in AVAILABLE  # numpy is a hard dependency of repro
+
+
+def test_unknown_backend_is_loud():
+    from repro.core.exceptions import SynthesisError
+
+    graph = star_graph(n_leaves=3)
+    with pytest.raises(SynthesisError, match="kernel"):
+        synthesize(graph, two_tier_library(), SynthesisOptions(kernels="fortran"))
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "python")
+    assert resolve_backend(None).name == "python"
+    monkeypatch.setenv("REPRO_KERNELS", "numpy")
+    assert resolve_backend(None).name == "numpy"
+    monkeypatch.delenv("REPRO_KERNELS")
+    assert resolve_backend(None).name in KERNEL_BACKENDS

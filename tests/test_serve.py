@@ -65,6 +65,25 @@ def _submit(port, doc, timeout=120):
     return status, json.loads(raw), headers
 
 
+def _wait_until(port, predicate, timeout=10.0):
+    """Poll ``/v1/health`` until ``predicate(health_doc)`` holds.
+
+    Replaces fixed ``time.sleep`` waits, which flake when a loaded
+    machine delays admission past the guessed interval: the condition
+    is on the server's *actual* queued/running counters.
+    """
+    deadline = time.monotonic() + timeout
+    doc = None
+    while time.monotonic() < deadline:
+        status, raw, _ = _request(port, "GET", "/v1/health", timeout=10)
+        assert status == 200
+        doc = json.loads(raw)
+        if predicate(doc):
+            return doc
+        time.sleep(0.01)
+    pytest.fail(f"server never reached the expected state; last health: {doc}")
+
+
 # ----------------------------------------------------------------------
 # protocol units
 # ----------------------------------------------------------------------
@@ -308,9 +327,12 @@ class TestBackpressure:
             threads = [
                 threading.Thread(target=occupy, args=(f"q{i}",)) for i in range(3)
             ]
-            for t in threads:
+            for i, t in enumerate(threads):
                 t.start()
-                time.sleep(0.15)  # admit in order: q0 running, q1 q2 queued
+                # admit in order: q0 running (stalled), then q1, q2 queued
+                _wait_until(
+                    handle.port, lambda h, n=i + 1: h["running"] + h["queued"] >= n
+                )
 
             shed = []
             for i in range(3):
@@ -345,9 +367,12 @@ class TestBackpressure:
                 ))
 
             threads = [threading.Thread(target=bg, args=("flood", f"f{i}")) for i in range(3)]
-            for t in threads:
+            for i, t in enumerate(threads):
                 t.start()
-                time.sleep(0.15)  # f0 running, f1 f2 queued: flood is at its cap
+                # f0 running (stalled), f1 f2 queued: flood is at its cap
+                _wait_until(
+                    handle.port, lambda h, n=i + 1: h["running"] + h["queued"] >= n
+                )
 
             status, doc, _ = _submit(
                 handle.port, {"instance": instance_doc, "client": "flood", "name": "f3"}
@@ -438,9 +463,9 @@ class TestDrain:
 
         thread = threading.Thread(target=bg)
         thread.start()
-        time.sleep(0.3)  # the stalled solve is now running
+        _wait_until(handle.port, lambda h: h["running"] >= 1)  # stalled solve running
         handle.drain()
-        time.sleep(0.1)
+        _wait_until(handle.port, lambda h: h["status"] == "draining")
 
         status, doc, headers = _submit(handle.port, {"instance": instance_doc})
         assert status == 503

@@ -51,6 +51,23 @@ def _submit(port, doc, timeout=180):
     return resp.status, payload
 
 
+def _wait_admitted(port, count, timeout=10.0):
+    """Poll ``/v1/health`` until ``count`` requests are queued or
+    running — condition-based, so a loaded machine cannot flake it the
+    way a fixed sleep can."""
+    deadline = time.monotonic() + timeout
+    doc = None
+    while time.monotonic() < deadline:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        conn.request("GET", "/v1/health")
+        doc = json.loads(conn.getresponse().read())
+        conn.close()
+        if doc["running"] + doc["queued"] >= count:
+            return doc
+        time.sleep(0.01)
+    pytest.fail(f"server never admitted {count} requests; last health: {doc}")
+
+
 def _pool_pids(handle):
     pool = handle.server._pool
     return [] if pool is None else [p.pid for p in pool._processes.values()]
@@ -214,7 +231,7 @@ class TestDrainUnderChaos:
         threads = [threading.Thread(target=bg, args=(i,)) for i in range(4)]
         for t in threads:
             t.start()
-        time.sleep(0.4)  # both workers are mid-stall, two more queued
+        _wait_admitted(handle.port, 4)  # both workers mid-stall, two queued
         handle.drain()
         for t in threads:
             t.join()
@@ -245,7 +262,7 @@ class TestDrainUnderChaos:
         threads = [threading.Thread(target=bg, args=(i,)) for i in range(2)]
         for t in threads:
             t.start()
-        time.sleep(0.4)  # doomed0 running (stalled), doomed1 queued
+        _wait_admitted(handle.port, 2)  # doomed0 running (stalled), doomed1 queued
         t0 = time.monotonic()
         handle.drain()
         for t in threads:
