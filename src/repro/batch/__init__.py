@@ -3,23 +3,43 @@
 The single-instance pipeline (:func:`repro.core.synthesize`) is exact
 but single-tenant: one constraint graph per process, every derived
 result recomputed from scratch.  This package is the corpus-scale
-layer over it — discover a corpus (:mod:`repro.batch.corpus`), shard
-it across a self-healing process pool, solve every instance under the
-existing Budget/supervisor machinery, stream CRC-tagged JSON-lines
-records for crash-tolerant resume, and amortize the dominant
-recomputation across instances through the persistent cross-run cache
-(:mod:`repro.core.cache`).
+layer over it, split along dispatch/collect/persist lines:
 
-Surfaced on the command line as ``python -m repro batch``.
+- :mod:`repro.batch.corpus` — corpus discovery and identity;
+- :mod:`repro.batch.scheduler` — the transport-agnostic dispatch layer
+  (:class:`~repro.batch.scheduler.Transport`): in-process serial, the
+  self-healing local process pool;
+- :mod:`repro.batch.queue` — the multi-host transport: a
+  coordinator-less work queue over any shared directory, with lease
+  files, heartbeats, and fencing tokens for exactly-once results under
+  host death and zombie writers;
+- :mod:`repro.batch.stream` — crash-tolerant persistence: CRC-tagged
+  JSON-lines result streams with resume loading;
+- :mod:`repro.batch.runner` — :func:`~repro.batch.runner.run_batch`,
+  the orchestration that ties them together, plus cross-run caching
+  through :mod:`repro.core.cache` (shareable between hosts via the
+  queue's cache tier).
+
+Surfaced on the command line as ``python -m repro batch`` (coordinator
+or solo host) and ``python -m repro batch-worker`` (extra hosts).
 """
 
 from .corpus import InstanceRef, discover_corpus
+from .queue import (
+    QueueConfig,
+    QueueHealth,
+    QueueWorker,
+    enqueue,
+    merge_queue,
+)
 from .runner import (
     VOLATILE_RESULT_KEYS,
     BatchSummary,
     run_batch,
     stable_result_dict,
 )
+from .scheduler import SolveTask, Transport, solve_one
+from .stream import ResultStream, load_completed, load_stream_records
 
 __all__ = [
     "InstanceRef",
@@ -28,4 +48,15 @@ __all__ = [
     "run_batch",
     "stable_result_dict",
     "VOLATILE_RESULT_KEYS",
+    "QueueConfig",
+    "QueueHealth",
+    "QueueWorker",
+    "enqueue",
+    "merge_queue",
+    "SolveTask",
+    "Transport",
+    "solve_one",
+    "ResultStream",
+    "load_completed",
+    "load_stream_records",
 ]

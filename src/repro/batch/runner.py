@@ -1,56 +1,39 @@
 """Multi-instance batch orchestration (``repro.batch.runner``).
 
-Shards a corpus of instances across a self-healing process pool, one
-:func:`repro.core.synthesize` run per instance, and streams one
-JSON-lines record per finished instance to a results file.  The moving
-parts are deliberately the ones the single-instance path already
-trusts:
+The *orchestration* layer of the batch engine's three-way split:
 
-- **per-instance solves** reuse ``SynthesisOptions`` + ``Budget``
-  (``deadline_per_instance`` puts each solve under the supervised
-  anytime chain, so a slow instance degrades instead of stalling the
-  batch);
-- **worker loss** is handled the way candidate generation handles it
-  (:mod:`repro.core.candidates`): a dead worker breaks the pool, the
-  pool is rebuilt, lost instances are re-dispatched, and an instance
-  whose worker dies twice is solved in-process;
-- **crash tolerance** comes from the results stream itself: every
-  record is CRC-tagged, so ``resume=True`` reloads the stream, skips
-  instances already solved (matched by a content fingerprint over the
-  instance file bytes plus the result-shaping options), and re-runs
-  only the rest — a killed batch never re-solves finished instances;
-- **cross-run caching**: with ``cache_dir`` set, every solve runs under
-  a shared :class:`~repro.core.cache.PersistentCache` (each pool worker
-  opens its own handle on the same directory), so corpus sweeps over
-  one library skip the dominant p2p/merging recomputation.
+- :mod:`repro.batch.scheduler` — **dispatch/collect**: the
+  :class:`~repro.batch.scheduler.Transport` interface and its serial /
+  self-healing-pool implementations;
+- :mod:`repro.batch.queue` — the multi-host transport: lease files,
+  fencing tokens, heartbeats over any shared directory;
+- :mod:`repro.batch.stream` — **persist**: CRC-tagged JSON-lines
+  result streams with torn-tail healing and resume loading.
 
-Records are appended in corpus order (futures are consumed in
-submission order), so two runs over the same corpus produce
-line-comparable streams.
+:func:`run_batch` walks the corpus in order, reuses resumed records,
+asks the chosen transport for everything else, and streams records to
+the results file in corpus order — so two runs over the same corpus
+produce line-comparable streams regardless of which transport (or how
+many hosts) actually solved them.  Identity is the **resume key**:
+a SHA-256 over the instance file bytes plus the result-shaping option
+surface; it powers ``--resume``, exactly-once queue takeover, and the
+batch acceptance checks alike.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
-import sys
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
 
-from ..core.cache import (
-    PersistentCache,
-    current_persistent_cache,
-    persistent_cache,
-    set_persistent_cache,
-)
-from ..core.synthesis import SynthesisOptions, synthesize
+from ..core.cache import PersistentCache, persistent_cache
+from ..core.synthesis import SynthesisOptions
 from ..obs import current_tracer
-from ..runtime.budget import Budget
 from .corpus import InstanceRef
+from .scheduler import PoolTransport, SerialTransport, SolveTask, Transport, solve_one
+from .stream import ResultStream, canonical_json, load_completed, record_crc
 
 __all__ = [
     "BatchSummary",
@@ -64,15 +47,16 @@ __all__ = [
 #: metrics) — stripped for cross-run result comparison.
 VOLATILE_RESULT_KEYS = ("elapsed_seconds", "degradation", "metrics")
 
+# long-standing private names, kept pointing at their new homes —
+# repro.serve and external callers reach them through this module.
+_canonical = canonical_json
+_crc = record_crc
+_solve_one = solve_one
 
-def _canonical(doc: Any) -> str:
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
-
-def _crc(doc: Any) -> str:
-    import zlib
-
-    return format(zlib.crc32(_canonical(doc).encode("utf-8")), "08x")
+def _emit(stream: TextIO, record: Dict[str, Any]) -> None:
+    stream.write(canonical_json(dict(record, crc=record_crc(record))) + "\n")
+    stream.flush()
 
 
 def stable_result_dict(result) -> Dict[str, Any]:
@@ -114,118 +98,8 @@ def _instance_sha(path: Path, options: SynthesisOptions, deadline: Optional[floa
     differ.
     """
     digest = hashlib.sha256(path.read_bytes())
-    digest.update(_canonical(_options_digest(options, deadline)).encode("utf-8"))
+    digest.update(canonical_json(_options_digest(options, deadline)).encode("utf-8"))
     return digest.hexdigest()
-
-
-# ----------------------------------------------------------------------
-# the per-instance unit of work
-# ----------------------------------------------------------------------
-
-
-def _solve_one(
-    name: str,
-    path_str: str,
-    options: SynthesisOptions,
-    deadline: Optional[float],
-    sha: str,
-    trace: bool = False,
-) -> Dict[str, Any]:
-    """Solve one instance; always returns a record, never raises.
-
-    Runs under whatever persistent cache is ambient (the pool
-    initializer installs the worker's handle; the serial path installs
-    the parent's), reporting this solve's cache-counter delta in the
-    record.  A failure of any kind — malformed file, infeasible
-    instance, validation error — becomes a ``"failed"`` record so one
-    bad corpus member can never abort the batch.
-
-    ``trace=True`` runs the solve under a fresh :mod:`repro.obs` tracer
-    and attaches its JSON metrics as ``record["metrics"]`` — outside
-    ``record["result"]``, so traced and untraced solves stay
-    stable-dict identical.  Used by ``repro.serve`` streaming requests.
-    """
-    from ..io.json_io import load_instance
-
-    store = current_persistent_cache()
-    before = store.stats.copy() if store is not None else None
-    started = time.perf_counter()
-    record: Dict[str, Any] = {"name": name, "path": path_str, "sha": sha}
-    try:
-        graph, library = load_instance(path_str)
-        budget = Budget(deadline_s=deadline) if deadline is not None else None
-        result = synthesize(graph, library, options, budget=budget, trace=trace)
-        quality = result.degradation.quality.value if result.degradation else "optimal"
-        record.update(
-            status="ok" if quality == "optimal" else "degraded",
-            quality=quality,
-            cost=result.total_cost,
-            result=stable_result_dict(result),
-        )
-        if trace and result.trace is not None:
-            from ..obs import metrics_dict
-
-            record["metrics"] = metrics_dict(result.trace)
-    except Exception as exc:  # noqa: BLE001 - the record *is* the error channel
-        record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
-    record["elapsed_s"] = time.perf_counter() - started
-    if store is not None:
-        record["cache"] = store.stats.delta(before).to_dict()
-    return record
-
-
-#: worker-side state: the pool initializer opens one cache handle per
-#: worker process (the store is multi-process safe, handles are not).
-def _batch_init(cache_dir: Optional[str]) -> None:
-    set_persistent_cache(PersistentCache(cache_dir) if cache_dir else None)
-
-
-# ----------------------------------------------------------------------
-# results stream
-# ----------------------------------------------------------------------
-
-
-def _load_completed(results_path: Path) -> Dict[str, Dict[str, Any]]:
-    """Reload a (possibly torn) results stream for resume.
-
-    Returns the last successful record per instance fingerprint.
-    Records failing CRC or JSON parse — a crash mid-append — are
-    skipped, not fatal: like the persistent cache (and unlike the
-    checkpoint journal), records are independent facts.
-    """
-    done: Dict[str, Dict[str, Any]] = {}
-    if not results_path.exists():
-        return done
-    for raw in results_path.read_bytes().splitlines():
-        try:
-            record = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            continue
-        if not isinstance(record, dict) or "crc" not in record:
-            continue
-        crc = record.pop("crc")
-        if _crc(record) != crc:
-            continue
-        if record.get("status") in ("ok", "degraded") and record.get("sha"):
-            done[record["sha"]] = record
-    return done
-
-
-def _open_results(results_path: Path, resume: bool) -> TextIO:
-    """Open the stream for append, healing a torn final line first."""
-    results_path.parent.mkdir(parents=True, exist_ok=True)
-    if resume and results_path.exists():
-        raw = results_path.read_bytes()
-        if raw and not raw.endswith(b"\n"):
-            with open(results_path, "ab") as f:
-                f.write(b"\n")
-        return open(results_path, "a")
-    return open(results_path, "w")
-
-
-def _emit(stream: TextIO, record: Dict[str, Any]) -> None:
-    stream.write(_canonical(dict(record, crc=_crc(record))) + "\n")
-    stream.flush()
 
 
 # ----------------------------------------------------------------------
@@ -250,6 +124,14 @@ class BatchSummary:
     cache: Dict[str, int] = field(default_factory=dict)
     #: every instance's record, in corpus order (reused ones included).
     records: List[Dict[str, Any]] = field(default_factory=list)
+    #: queue-transport health (all zero for serial/pool runs): lease
+    #: files created fleet-wide, leases that expired past their TTL,
+    #: takeovers at a higher fencing token, and CRC-valid records
+    #: rejected at merge because a higher token superseded them.
+    leases_acquired: int = 0
+    leases_expired: int = 0
+    takeovers: int = 0
+    fenced_writes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -267,6 +149,12 @@ class BatchSummary:
             "worker_recoveries": self.worker_recoveries,
             "elapsed_s": self.elapsed_s,
             "cache": dict(self.cache),
+            "queue": {
+                "leases_acquired": self.leases_acquired,
+                "leases_expired": self.leases_expired,
+                "takeovers": self.takeovers,
+                "fenced_writes": self.fenced_writes,
+            },
             "instances": [
                 {k: r.get(k) for k in ("name", "status", "quality", "cost", "elapsed_s", "error")}
                 for r in self.records
@@ -293,63 +181,6 @@ def _absorb(summary: BatchSummary, record: Dict[str, Any], reused: bool) -> None
         summary.cache[key] = summary.cache.get(key, 0) + value
 
 
-def run_batch(
-    corpus: Sequence[InstanceRef],
-    *,
-    options: Optional[SynthesisOptions] = None,
-    jobs: Optional[int] = None,
-    cache_dir: Optional[Union[str, Path]] = None,
-    deadline_per_instance: Optional[float] = None,
-    results_path: Union[str, Path] = "batch_results.jsonl",
-    resume: bool = False,
-    progress: Optional[TextIO] = None,
-) -> BatchSummary:
-    """Synthesize every corpus instance; returns the aggregate summary.
-
-    ``jobs`` shards instances over that many worker processes
-    (``None``/``1`` = in-process, deterministic and debuggable);
-    records land in ``results_path`` in corpus order either way.
-    ``resume=True`` skips instances already recorded as solved in an
-    existing results stream (same file bytes, same options).
-    ``progress`` (e.g. ``sys.stderr``) gets a one-liner per instance.
-
-    The call itself never raises for a *failing instance* — failures
-    are records and ``summary.ok`` is False.  It does raise for batch-
-    level misuse (``jobs < 1``, unreadable results path).
-    """
-    if jobs is not None and jobs < 1:
-        raise ValueError(f"jobs must be a positive worker count, got {jobs}")
-    options = options if options is not None else SynthesisOptions()
-    results_path = Path(results_path)
-    cache_str = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
-    tracer = current_tracer()
-
-    summary = BatchSummary(total=len(corpus))
-    started = time.perf_counter()
-    shas = [_instance_sha(ref.path, options, deadline_per_instance) for ref in corpus]
-    done = _load_completed(results_path) if resume else {}
-
-    parent_store = PersistentCache(cache_str) if cache_str else None
-    stream = _open_results(results_path, resume)
-    try:
-        with persistent_cache(parent_store):
-            with tracer.span("batch.run", instances=len(corpus), jobs=jobs or 1):
-                if jobs is None or jobs == 1:
-                    _run_serial(corpus, shas, done, options, deadline_per_instance,
-                                summary, stream, progress)
-                else:
-                    _run_pooled(corpus, shas, done, options, deadline_per_instance,
-                                jobs, cache_str, summary, stream, progress)
-    finally:
-        stream.close()
-        if parent_store is not None:
-            parent_store.close()
-    summary.elapsed_s = time.perf_counter() - started
-    for key, value in summary.cache.items():
-        tracer.count_local(f"batch.cache.{key}", value)
-    return summary
-
-
 def _report(progress: Optional[TextIO], record: Dict[str, Any], reused: bool) -> None:
     if progress is None:
         return
@@ -364,101 +195,123 @@ def _report(progress: Optional[TextIO], record: Dict[str, Any], reused: bool) ->
               f"({record['elapsed_s']:.2f}s)", file=progress)
 
 
-def _run_serial(
+def run_batch(
     corpus: Sequence[InstanceRef],
-    shas: Sequence[str],
-    done: Dict[str, Dict[str, Any]],
-    options: SynthesisOptions,
-    deadline: Optional[float],
-    summary: BatchSummary,
-    stream: TextIO,
-    progress: Optional[TextIO],
-) -> None:
-    for ref, sha in zip(corpus, shas):
-        reused = sha in done
-        record = done[sha] if reused else _solve_one(
-            ref.name, str(ref.path), options, deadline, sha
-        )
-        if not reused:
-            _emit(stream, record)
-        _absorb(summary, record, reused)
-        _report(progress, record, reused)
+    *,
+    options: Optional[SynthesisOptions] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    deadline_per_instance: Optional[float] = None,
+    results_path: Union[str, Path] = "batch_results.jsonl",
+    resume: bool = False,
+    progress: Optional[TextIO] = None,
+    fsync_results: bool = False,
+    queue_dir: Optional[Union[str, Path]] = None,
+    lease_ttl_s: float = 30.0,
+    shard_size: int = 1,
+    queue_wait_timeout_s: Optional[float] = None,
+) -> BatchSummary:
+    """Synthesize every corpus instance; returns the aggregate summary.
 
+    Transport choice: ``queue_dir`` set routes the batch through the
+    multi-host work queue at that (shared) directory — this process
+    participates as one host, spawns ``jobs - 1`` extra local worker
+    processes, and any number of ``repro batch-worker`` hosts elsewhere
+    may join; otherwise ``jobs`` shards instances over that many local
+    worker processes (``None``/``1`` = in-process, deterministic and
+    debuggable).  Records land in ``results_path`` in corpus order in
+    every case.
 
-def _run_pooled(
-    corpus: Sequence[InstanceRef],
-    shas: Sequence[str],
-    done: Dict[str, Dict[str, Any]],
-    options: SynthesisOptions,
-    deadline: Optional[float],
-    jobs: int,
-    cache_str: Optional[str],
-    summary: BatchSummary,
-    stream: TextIO,
-    progress: Optional[TextIO],
-) -> None:
-    """Fan instances out, consume in corpus order, survive worker loss.
+    ``resume=True`` skips instances already recorded as solved in the
+    existing results stream (same file bytes, same options) — the
+    stream must exist: resuming over nothing is reported as a
+    :class:`~repro.core.exceptions.BatchError`, not silently ignored.
+    ``fsync_results`` fsyncs every appended record (whole-host-crash
+    durability, at a throughput cost).  ``progress`` (e.g.
+    ``sys.stderr``) gets a one-liner per instance.
 
-    Mirrors the recovery ladder of
-    :func:`repro.core.candidates._plan_arity_parallel`: a
-    ``BrokenProcessPool`` rebuilds the executor and re-dispatches the
-    lost instance plus everything still pending; a second loss of the
-    same instance solves it in-process under the parent's cache handle.
+    The call itself never raises for a *failing instance* — failures
+    are records and ``summary.ok`` is False.  It does raise for batch-
+    level misuse (``jobs < 1``, unreadable results path, unusable
+    queue directory).
     """
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count, got {jobs}")
+    options = options if options is not None else SynthesisOptions()
+    results_path = Path(results_path)
+    cache_str = str(Path(cache_dir).expanduser()) if cache_dir is not None else None
     tracer = current_tracer()
-    pool: Optional[ProcessPoolExecutor] = None
-    futures: Dict[int, Future] = {}
 
-    def _ensure_pool() -> ProcessPoolExecutor:
-        nonlocal pool
-        if pool is None:
-            pool = ProcessPoolExecutor(
-                max_workers=jobs, initializer=_batch_init, initargs=(cache_str,)
-            )
-        return pool
-
-    def _dispatch(i: int) -> None:
-        ref = corpus[i]
-        futures[i] = _ensure_pool().submit(
-            _solve_one, ref.name, str(ref.path), options, deadline, shas[i]
+    summary = BatchSummary(total=len(corpus))
+    started = time.perf_counter()
+    tasks = [
+        SolveTask(
+            index=i,
+            name=ref.name,
+            path=str(ref.path),
+            sha=_instance_sha(ref.path, options, deadline_per_instance),
         )
+        for i, ref in enumerate(corpus)
+    ]
+    done = load_completed(results_path, require=True) if resume else {}
 
-    def _recover(after: int) -> None:
-        nonlocal pool
+    def _on_pool_recovery() -> None:
         summary.worker_recoveries += 1
-        tracer.count_local("batch.worker_recoveries")
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-            pool = None
-        for i in sorted(j for j in futures if j > after):
-            _dispatch(i)
+
+    def _on_queue_health(health) -> None:
+        summary.leases_acquired = health.leases_acquired
+        summary.leases_expired = health.leases_expired
+        summary.takeovers = health.takeovers
+        summary.fenced_writes = health.fenced_writes
+
+    parent_store: Optional[PersistentCache] = None
+    transport: Transport
+    if queue_dir is not None:
+        from .queue import QueueConfig, QueueTransport
+
+        transport = QueueTransport(
+            queue_dir,
+            options,
+            deadline_per_instance,
+            QueueConfig(
+                lease_ttl_s=lease_ttl_s,
+                shard_size=shard_size,
+                fsync_results=fsync_results,
+            ),
+            cache_dir=cache_str,
+            local_workers=jobs or 1,
+            wait_timeout_s=queue_wait_timeout_s,
+            progress=progress,
+            on_health=_on_queue_health,
+        )
+    elif jobs is None or jobs == 1:
+        parent_store = PersistentCache(cache_str) if cache_str else None
+        transport = SerialTransport(options, deadline_per_instance)
+    else:
+        parent_store = PersistentCache(cache_str) if cache_str else None
+        transport = PoolTransport(
+            options, deadline_per_instance, jobs, cache_str, on_recovery=_on_pool_recovery
+        )
 
     try:
-        for i, sha in enumerate(shas):
-            if sha not in done:
-                _dispatch(i)
-        for i, (ref, sha) in enumerate(zip(corpus, shas)):
-            reused = sha in done
-            if reused:
-                record = done[sha]
-            else:
-                try:
-                    record = futures[i].result()
-                except BrokenProcessPool:
-                    _recover(i)
-                    _dispatch(i)
-                    try:
-                        record = futures[i].result()
-                    except BrokenProcessPool:
-                        # twice-lost instance: the one path a worker
-                        # cannot kill — solve it right here.
-                        _recover(i)
-                        record = _solve_one(
-                            ref.name, str(ref.path), options, deadline, sha
-                        )
-                _emit(stream, record)
-            _absorb(summary, record, reused)
-            _report(progress, record, reused)
+        with ResultStream(results_path, resume=resume, fsync=fsync_results) as stream:
+            with persistent_cache(parent_store):
+                with tracer.span(
+                    "batch.run", instances=len(corpus), jobs=jobs or 1, transport=transport.name
+                ):
+                    transport.prepare([t for t in tasks if t.sha not in done])
+                    for task in tasks:
+                        reused = task.sha in done
+                        record = done[task.sha] if reused else transport.collect(task)
+                        if not reused:
+                            stream.emit(record)
+                        _absorb(summary, record, reused)
+                        _report(progress, record, reused)
     finally:
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        transport.close()
+        if parent_store is not None:
+            parent_store.close()
+    summary.elapsed_s = time.perf_counter() - started
+    for key, value in summary.cache.items():
+        tracer.count_local(f"batch.cache.{key}", value)
+    return summary

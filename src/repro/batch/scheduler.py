@@ -1,0 +1,234 @@
+"""Transport-agnostic batch scheduling (``repro.batch.scheduler``).
+
+The *dispatch/collect* two-thirds of the batch engine's
+dispatch/collect/persist split.  :func:`repro.batch.runner.run_batch`
+walks the corpus in order and, per instance, either reuses a resumed
+record or asks a :class:`Transport` for a freshly solved one; how the
+solve actually executes is entirely the transport's business:
+
+- :class:`SerialTransport` — in-process, deterministic, debuggable;
+- :class:`PoolTransport` — the self-healing local process pool
+  (worker death ⇒ rebuild + re-dispatch ⇒ in-process rescue);
+- :class:`~repro.batch.queue.QueueTransport` — the multi-host
+  filesystem work queue with lease fencing (lives in its own module;
+  registered here only by interface).
+
+Every transport returns records with the same shape and the same
+determinism contract — ``record["result"]`` equals a solo
+``synthesize()`` of the instance — so the persist layer and the
+summary logic never know which one ran.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.cache import PersistentCache, current_persistent_cache, set_persistent_cache
+from ..core.synthesis import SynthesisOptions, synthesize
+from ..obs import current_tracer
+from ..runtime.budget import Budget
+
+__all__ = [
+    "SolveTask",
+    "Transport",
+    "SerialTransport",
+    "PoolTransport",
+    "solve_one",
+]
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One schedulable unit: the corpus position plus everything a
+    worker needs to solve and fingerprint the instance."""
+
+    index: int
+    name: str
+    path: str
+    sha: str
+
+
+def solve_one(
+    name: str,
+    path_str: str,
+    options: SynthesisOptions,
+    deadline: Optional[float],
+    sha: str,
+    trace: bool = False,
+) -> Dict[str, Any]:
+    """Solve one instance; always returns a record, never raises.
+
+    Runs under whatever persistent cache is ambient (the pool
+    initializer installs the worker's handle; the serial path installs
+    the parent's), reporting this solve's cache-counter delta in the
+    record.  A failure of any kind — malformed file, infeasible
+    instance, validation error — becomes a ``"failed"`` record so one
+    bad corpus member can never abort the batch.
+
+    ``trace=True`` runs the solve under a fresh :mod:`repro.obs` tracer
+    and attaches its JSON metrics as ``record["metrics"]`` — outside
+    ``record["result"]``, so traced and untraced solves stay
+    stable-dict identical.  Used by ``repro.serve`` streaming requests.
+    """
+    from ..io.json_io import load_instance
+    from .runner import stable_result_dict
+
+    store = current_persistent_cache()
+    before = store.stats.copy() if store is not None else None
+    started = time.perf_counter()
+    record: Dict[str, Any] = {"name": name, "path": path_str, "sha": sha}
+    try:
+        graph, library = load_instance(path_str)
+        budget = Budget(deadline_s=deadline) if deadline is not None else None
+        result = synthesize(graph, library, options, budget=budget, trace=trace)
+        quality = result.degradation.quality.value if result.degradation else "optimal"
+        record.update(
+            status="ok" if quality == "optimal" else "degraded",
+            quality=quality,
+            cost=result.total_cost,
+            result=stable_result_dict(result),
+        )
+        if trace and result.trace is not None:
+            from ..obs import metrics_dict
+
+            record["metrics"] = metrics_dict(result.trace)
+    except Exception as exc:  # noqa: BLE001 - the record *is* the error channel
+        record.update(status="failed", error=f"{type(exc).__name__}: {exc}")
+    record["elapsed_s"] = time.perf_counter() - started
+    if store is not None:
+        record["cache"] = store.stats.delta(before).to_dict()
+    return record
+
+
+#: worker-side state: the pool initializer opens one cache handle per
+#: worker process (the store is multi-process safe, handles are not).
+def _pool_init(cache_dir: Optional[str]) -> None:
+    set_persistent_cache(PersistentCache(cache_dir) if cache_dir else None)
+
+
+class Transport:
+    """How a batch of :class:`SolveTask` units actually executes.
+
+    Lifecycle: ``prepare(tasks)`` once with every to-solve task in
+    corpus order, then ``collect(task)`` once per task *in that same
+    order* (blocking until its record exists), then ``close()`` —
+    always, in a ``finally``.  ``collect`` must never raise for a
+    failing *instance* (failures are ``"failed"`` records); it may
+    raise for transport-level misuse or an unusable substrate.
+    """
+
+    #: short name surfaced in the ``batch.run`` span.
+    name = "abstract"
+
+    def prepare(self, tasks: List[SolveTask]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def collect(self, task: SolveTask) -> Dict[str, Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialTransport(Transport):
+    """Solve in-process, one instance at a time, under the parent's
+    ambient cache handle."""
+
+    name = "serial"
+
+    def __init__(self, options: SynthesisOptions, deadline: Optional[float]) -> None:
+        self._options = options
+        self._deadline = deadline
+
+    def prepare(self, tasks: List[SolveTask]) -> None:
+        pass
+
+    def collect(self, task: SolveTask) -> Dict[str, Any]:
+        return solve_one(task.name, task.path, self._options, self._deadline, task.sha)
+
+    def close(self) -> None:
+        pass
+
+
+class PoolTransport(Transport):
+    """Fan tasks out over a self-healing local process pool.
+
+    Mirrors the recovery ladder of
+    :func:`repro.core.candidates._plan_arity_parallel`: a
+    ``BrokenProcessPool`` rebuilds the executor and re-dispatches the
+    lost instance plus everything still pending; a second loss of the
+    same instance solves it in-process under the parent's cache handle.
+    ``on_recovery`` is called once per rebuild so the caller can keep
+    its own books (``BatchSummary.worker_recoveries``).
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        options: SynthesisOptions,
+        deadline: Optional[float],
+        jobs: int,
+        cache_dir: Optional[str],
+        on_recovery=None,
+    ) -> None:
+        self._options = options
+        self._deadline = deadline
+        self._jobs = jobs
+        self._cache_dir = cache_dir
+        self._on_recovery = on_recovery
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[int, Future] = {}
+        self._tasks: Dict[int, SolveTask] = {}
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._jobs, initializer=_pool_init, initargs=(self._cache_dir,)
+            )
+        return self._pool
+
+    def _dispatch(self, task: SolveTask) -> None:
+        self._futures[task.index] = self._ensure_pool().submit(
+            solve_one, task.name, task.path, self._options, self._deadline, task.sha
+        )
+
+    def _recover(self, after: int) -> None:
+        current_tracer().count_local("batch.worker_recoveries")
+        if self._on_recovery is not None:
+            self._on_recovery()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        for i in sorted(j for j in self._futures if j > after):
+            self._dispatch(self._tasks[i])
+
+    def prepare(self, tasks: List[SolveTask]) -> None:
+        for task in tasks:
+            self._tasks[task.index] = task
+            self._dispatch(task)
+
+    def collect(self, task: SolveTask) -> Dict[str, Any]:
+        try:
+            return self._futures[task.index].result()
+        except BrokenProcessPool:
+            self._recover(task.index)
+            self._dispatch(task)
+            try:
+                return self._futures[task.index].result()
+            except BrokenProcessPool:
+                # twice-lost instance: the one path a worker cannot
+                # kill — solve it right here.
+                self._recover(task.index)
+                return solve_one(
+                    task.name, task.path, self._options, self._deadline, task.sha
+                )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None

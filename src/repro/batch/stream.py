@@ -1,0 +1,152 @@
+"""CRC-tagged JSON-lines result streams (``repro.batch.stream``).
+
+The *persist* third of the batch engine's dispatch/collect/persist
+split: one append-only stream of per-instance records, each line a
+canonical JSON object carrying a CRC-32 over its own content.  The
+format is deliberately the same family as the persistent cache and the
+checkpoint journal — records are **independent facts**: a torn or
+corrupted line (crash mid-append, partial rsync) is skipped on load,
+never a truncation point, so every intact record before *and after* it
+still counts.
+
+Durability has two tiers.  The default ``flush`` after every record
+survives process death (the batch's own crash-tolerance contract).
+``fsync=True`` additionally fsyncs every append, so records survive
+whole-host crash — the queue-worker posture, where another host will
+trust the stream during lease takeover — at a single-host throughput
+cost, which is why it is opt-in (``repro batch --fsync-results``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from ..core.exceptions import BatchError
+
+__all__ = [
+    "canonical_json",
+    "record_crc",
+    "ResultStream",
+    "load_stream_records",
+    "load_completed",
+]
+
+
+def canonical_json(doc: Any) -> str:
+    """The one canonical JSON form (sorted keys, no whitespace) every
+    CRC in the batch layer is computed over."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def record_crc(doc: Any) -> str:
+    return format(zlib.crc32(canonical_json(doc).encode("utf-8")), "08x")
+
+
+def validate_record_line(raw: bytes) -> Optional[Dict[str, Any]]:
+    """Parse one stream line; ``None`` for anything less than a fully
+    intact, CRC-matching record (torn tail, bit flip, interleaved
+    write).  The returned dict has the ``crc`` field already popped."""
+    try:
+        record = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or "crc" not in record:
+        return None
+    crc = record.pop("crc")
+    if record_crc(record) != crc:
+        return None
+    return record
+
+
+def load_stream_records(path: Union[str, Path]) -> list:
+    """Every CRC-valid record in ``path``, in file order (missing file =
+    no records; corrupt lines skipped)."""
+    path = Path(path)
+    records = []
+    try:
+        raw_lines = path.read_bytes().splitlines()
+    except FileNotFoundError:
+        return records
+    except OSError as exc:
+        raise BatchError(f"results stream {path}: unreadable: {exc}") from exc
+    for raw in raw_lines:
+        record = validate_record_line(raw)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def load_completed(path: Union[str, Path], *, require: bool = False) -> Dict[str, Dict[str, Any]]:
+    """Reload a (possibly torn) results stream for resume.
+
+    Returns the last successful record per instance fingerprint —
+    ``failed`` records are deliberately excluded, so a resumed batch
+    retries them.  ``require=True`` (the ``--resume`` CLI contract)
+    turns a missing stream into a :class:`BatchError` naming the path,
+    instead of silently resuming over nothing.
+    """
+    path = Path(path)
+    if require and not path.is_file():
+        detail = "is not a regular file" if path.exists() else "no such file"
+        raise BatchError(
+            f"results.resume: {path}: {detail} — --resume needs the results "
+            "stream of the interrupted run (or drop --resume to start fresh)"
+        )
+    done: Dict[str, Dict[str, Any]] = {}
+    for record in load_stream_records(path):
+        if record.get("status") in ("ok", "degraded") and record.get("sha"):
+            done[record["sha"]] = record
+    return done
+
+
+class ResultStream:
+    """Append-side handle on one results file.
+
+    ``resume=True`` keeps the existing content, healing a torn final
+    line (newline-terminating it) so appended records start clean;
+    otherwise the file is truncated.  ``fsync=True`` fsyncs every
+    record — see the module docstring for when that is worth it.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        resume: bool = False,
+        fsync: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            if resume and self.path.exists():
+                raw = self.path.read_bytes()
+                if raw and not raw.endswith(b"\n"):
+                    with open(self.path, "ab") as f:
+                        f.write(b"\n")
+                self._stream: TextIO = open(self.path, "a")
+            else:
+                self._stream = open(self.path, "w")
+        except OSError as exc:
+            raise BatchError(f"results stream {self.path}: cannot open: {exc}") from exc
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (CRC added here; flushed always,
+        fsynced when this stream was opened with ``fsync=True``)."""
+        self._stream.write(canonical_json(dict(record, crc=record_crc(record))) + "\n")
+        self._stream.flush()
+        if self.fsync:
+            os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "ResultStream":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -32,6 +32,7 @@ from .analysis import (
     synthesis_report,
 )
 from .core.exceptions import (
+    BatchError,
     BudgetExceeded,
     CheckpointError,
     InfeasibleError,
@@ -74,8 +75,9 @@ _EXIT_CODES_EPILOG = (
     "3 budget exceeded before any servable result "
     "(see --deadline / --on-budget-exhausted); 4 validation failure; "
     "5 malformed instance file (the diagnostic names the offending "
-    "field); 6 checkpoint journal incompatible with the instance "
-    "(see --checkpoint / --resume)"
+    "field) or unusable batch invocation (--resume over a missing "
+    "results stream, a bad --queue directory); 6 checkpoint journal "
+    "incompatible with the instance (see --checkpoint / --resume)"
 )
 
 
@@ -275,6 +277,32 @@ def build_parser() -> argparse.ArgumentParser:
         "stream (same file bytes, same options); a killed batch "
         "restarted with --resume never re-solves finished instances",
     )
+    bat.add_argument(
+        "--fsync-results", action="store_true",
+        help="fsync every appended result record so records survive "
+        "whole-host crash, not just process death (default: off — "
+        "flush-only, the single-host throughput posture)",
+    )
+    bat.add_argument(
+        "--queue", metavar="DIR",
+        help="run the batch through a multi-host work queue at this "
+        "shared directory (NFS or any shared mount): this process "
+        "participates as one host (plus --jobs-1 extra local workers) "
+        "and any number of `repro batch-worker DIR` hosts may join; "
+        "leases, fencing tokens, and CRC streams make host death and "
+        "zombie writers safe (see docs/USAGE.md §17)",
+    )
+    bat.add_argument(
+        "--lease-ttl", type=_positive_seconds, default=30.0, metavar="SECONDS",
+        help="queue lease liveness horizon: a shard whose holder stops "
+        "heartbeating this long is taken over; choose it well above the "
+        "fleet's worst clock skew (default: %(default)s)",
+    )
+    bat.add_argument(
+        "--shard-size", type=_positive_jobs, default=1, metavar="N",
+        help="instances per queue shard; smaller shards lose less work "
+        "to a takeover, larger ones lease less often (default: %(default)s)",
+    )
     bat.add_argument("--summary", metavar="FILE",
                      help="write the aggregate JSON summary here")
     bat.add_argument("--max-arity", type=int, default=None, help="cap merge size K")
@@ -293,6 +321,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bat.add_argument("--quiet", action="store_true",
                      help="suppress per-instance progress and the summary table")
+
+    wrk = sub.add_parser(
+        "batch-worker",
+        help="join an enqueued multi-host batch as one worker host: "
+        "lease shards from the shared queue directory, solve, stream "
+        "CRC-tagged records, and exit when every shard is done "
+        "(run `repro batch CORPUS --queue DIR` on any host first)",
+        epilog=_EXIT_CODES_EPILOG,
+    )
+    wrk.add_argument(
+        "queue",
+        help="the shared queue directory an enqueueing host created",
+    )
+    wrk.add_argument(
+        "--host-id", default=None, metavar="NAME",
+        help="this worker's identity in lease/heartbeat/result records "
+        "(default: hostname-pid)",
+    )
+    wrk.add_argument(
+        "--max-shards", type=_positive_jobs, default=None, metavar="N",
+        help="exit after completing this many shards (default: work "
+        "until the whole queue is done)",
+    )
+    wrk.add_argument("--quiet", action="store_true",
+                     help="suppress per-instance progress")
 
     srv = sub.add_parser(
         "serve",
@@ -529,6 +582,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         results_path=args.results,
         resume=args.resume,
         progress=None if args.quiet else sys.stderr,
+        fsync_results=args.fsync_results,
+        queue_dir=args.queue,
+        lease_ttl_s=args.lease_ttl,
+        shard_size=args.shard_size,
     )
     if not args.quiet:
         print(f"batch: {summary.completed} completed ({summary.degraded} degraded), "
@@ -538,12 +595,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"cache: {summary.cache.get('hits', 0)} hits, "
                   f"{summary.cache.get('misses', 0)} misses, "
                   f"{summary.cache.get('writes', 0)} writes")
+        if args.queue:
+            print(f"queue: {summary.leases_acquired} leases, "
+                  f"{summary.leases_expired} expired, "
+                  f"{summary.takeovers} takeovers, "
+                  f"{summary.fenced_writes} fenced writes")
         print(f"results stream: {args.results}")
     if args.summary:
         atomic_write(args.summary, json.dumps(summary.to_dict(), indent=2, sort_keys=True))
         if not args.quiet:
             print(f"summary written to {args.summary}")
     return 0 if summary.ok else 1
+
+
+def _cmd_batch_worker(args: argparse.Namespace) -> int:
+    from .batch.queue import QueueWorker
+
+    worker = QueueWorker(
+        args.queue,
+        host_id=args.host_id,
+        max_shards=args.max_shards,
+        exit_on_death=True,
+        progress=None if args.quiet else sys.stderr,
+    )
+    report = worker.run()
+    if not args.quiet:
+        print(f"worker {report.host_id}: {report.shards_completed} shards, "
+              f"{report.instances_solved} solved, "
+              f"{report.instances_inherited} inherited, "
+              f"{report.takeovers} takeovers, {report.fenced} fenced")
+    return 0
 
 
 def _cmd_tables(_args: argparse.Namespace) -> int:
@@ -655,6 +736,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "synthesize": _cmd_synthesize,
         "batch": _cmd_batch,
+        "batch-worker": _cmd_batch_worker,
         "serve": _cmd_serve,
         "demo": _cmd_demo,
         "tables": _cmd_tables,
@@ -671,6 +753,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except InstanceFormatError as exc:
         # before InfeasibleError: both derive from SynthesisError
         print(f"error: invalid instance: {exc}", file=sys.stderr)
+        return EXIT_BAD_INSTANCE
+    except BatchError as exc:
+        # unusable batch invocation (--resume over nothing, a bad queue
+        # directory) — an input problem, same family as exit 5
+        print(f"error: batch: {exc}", file=sys.stderr)
         return EXIT_BAD_INSTANCE
     except CheckpointError as exc:
         # covers CheckpointIncompatibleError (fingerprint/version

@@ -270,6 +270,100 @@ class PersistentCache:
         current_tracer().count_local(f"cache.persistent.{space}.write")
 
     # ------------------------------------------------------------------
+    # shareable tier: content-addressed pack import/export
+    # ------------------------------------------------------------------
+    def _validate_line(self, raw: bytes, fp16: str) -> Optional[Dict[str, Any]]:
+        """Structurally validate one entry line from a *foreign* cache
+        file: parseable, CRC-intact, and its full fingerprint consistent
+        with the file it claims to live in.  Payloads are deliberately
+        **not** unpickled here — import moves opaque records between
+        directories; deserialization (and its own corruption check)
+        happens at serve time in :meth:`_load_record`."""
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict) or "crc" not in record:
+            return None
+        crc = record.pop("crc")
+        if _crc(record) != crc:
+            return None
+        if not isinstance(record.get("fp"), str) or not record["fp"].startswith(fp16):
+            return None
+        return record
+
+    def import_from(self, source: Union[str, Path]) -> int:
+        """Union another cache directory's entries into this one.
+
+        The network-shareable tier: hosts exchange whole cache
+        directories (rsync, shared mount, artifact upload) and fold
+        them together with this.  Entries are content-addressed — keyed
+        by library fingerprint + canonical key — so import is an
+        idempotent set-union: records already present are skipped, new
+        ones appended.  Tolerant of *partial* copies by construction:
+        every line is CRC-validated independently, so a file truncated
+        mid-append by a racing rsync contributes its intact records and
+        has its torn tail counted in ``corrupt_discarded``, never
+        imported and never served.  Only files of this build's
+        ``CACHE_VERSION`` participate.  Returns the number of records
+        imported.
+        """
+        source = Path(source).expanduser()
+        if source.resolve() == self.directory.resolve():
+            return 0
+        marker = f"-v{CACHE_VERSION}-"
+        imported = 0
+        for path in sorted(source.glob(f"*{marker}*.jsonl")):
+            stem = path.name[: -len(".jsonl")]
+            space, _, fp16 = stem.rpartition(marker)
+            if not space or len(fp16) != 16:
+                continue
+            try:
+                src_lines = path.read_bytes().splitlines()
+            except OSError:  # pragma: no cover - racing copy/delete
+                continue
+            dest_path = self.directory / path.name
+            have = set()
+            if dest_path.exists():
+                for raw in dest_path.read_bytes().splitlines():
+                    record = self._validate_line(raw, fp16)
+                    if record is not None:
+                        have.add((record["fp"], str(record.get("key"))))
+            fresh = []
+            for raw in src_lines:
+                record = self._validate_line(raw, fp16)
+                if record is None:
+                    self.stats.corrupt_discarded += 1
+                    continue
+                ident = (record["fp"], str(record.get("key")))
+                if ident in have:
+                    continue
+                have.add(ident)
+                fresh.append(_canonical(dict(record, crc=_crc(record))) + "\n")
+            if not fresh:
+                continue
+            handle = self._handles.get(dest_path)
+            if handle is None:
+                handle = open(dest_path, "ab")
+                self._handles[dest_path] = handle
+            handle.write("".join(fresh).encode("utf-8"))
+            handle.flush()
+            imported += len(fresh)
+            # drop stale in-memory tables for this file so the next
+            # lookup reloads the unioned content.
+            for key in [k for k in self._tables if k[0] == space and k[1].startswith(fp16)]:
+                del self._tables[key]
+        if imported:
+            current_tracer().count_local("cache.persistent.imported", imported)
+        return imported
+
+    def export_to(self, dest: Union[str, Path]) -> int:
+        """Union this cache's entries into ``dest`` (the other direction
+        of :meth:`import_from`); returns the record count exported."""
+        with PersistentCache(dest) as pack:
+            return pack.import_from(self.directory)
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Close append handles (entries already on disk stay valid)."""
         for handle in self._handles.values():

@@ -20,6 +20,7 @@ __all__ = [
     "TransientSolverError",
     "CheckpointError",
     "CheckpointIncompatibleError",
+    "BatchError",
 ]
 
 
@@ -115,3 +116,14 @@ class CheckpointIncompatibleError(CheckpointError):
         super().__init__(message)
         self.expected = expected
         self.found = found
+
+
+class BatchError(SynthesisError):
+    """A corpus-scale batch run is unusable as *invoked* — a ``--resume``
+    pointing at a missing results stream, a work-queue directory with no
+    (or an incompatible) manifest, a merge over an incomplete queue.
+    Always an invocation/environment problem, never a failing instance:
+    per-instance failures are contained as ``"failed"`` records and
+    reported through :class:`~repro.batch.BatchSummary`.  The CLI maps
+    this family to exit code 5 with a one-line diagnostic naming the
+    offending path."""

@@ -31,6 +31,9 @@ from .faults import (  # noqa: F401
     FAULT_KINDS,
     FaultInjector,
     FaultSpec,
+    HeartbeatStallFault,
+    HostDeathFault,
+    StaleClockFault,
     WorkerCrashFault,
     active_injector,
     fault_point,
@@ -49,6 +52,9 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "WorkerCrashFault",
+    "HostDeathFault",
+    "HeartbeatStallFault",
+    "StaleClockFault",
     "active_injector",
     "fault_point",
     "DegradationReport",

@@ -35,6 +35,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjector",
     "WorkerCrashFault",
+    "HostDeathFault",
+    "HeartbeatStallFault",
+    "StaleClockFault",
     "fault_point",
     "active_injector",
 ]
@@ -51,8 +54,28 @@ __all__ = [
 #: ``stall`` — raises nothing: the injector itself blocks for
 #: ``stall_s`` seconds (via its injectable ``sleep``) before letting the
 #: site proceed, so deadline-overrun, watchdog and admission-control
-#: paths are testable without planting real sleeps in product code.
-FAULT_KINDS = ("timeout", "node_budget", "error", "worker_crash", "stall")
+#: paths are testable without planting real sleeps in product code;
+#: ``host_death`` — raises :class:`HostDeathFault` at a queue-worker
+#: solve site (``"queue.solve"``): an in-process simulated host abandons
+#: its lease on the spot (or, in a real ``repro batch-worker`` process,
+#: ``os._exit``\ s), exercising lease expiry and takeover;
+#: ``heartbeat_stall`` — raises :class:`HeartbeatStallFault` at the
+#: heartbeat-renewal site (``"queue.heartbeat"``): the heartbeat thread
+#: silently stops beating while the solve loop runs on — the canonical
+#: *zombie host* whose late writes must be fenced;
+#: ``stale_clock`` — raises :class:`StaleClockFault` at the clock site
+#: (``"queue.clock"``): the host's view of "now" is skewed by ``skew_s``
+#: seconds, exercising premature takeover under clock skew.
+FAULT_KINDS = (
+    "timeout",
+    "node_budget",
+    "error",
+    "worker_crash",
+    "stall",
+    "host_death",
+    "heartbeat_stall",
+    "stale_clock",
+)
 
 
 class WorkerCrashFault(Exception):
@@ -60,6 +83,33 @@ class WorkerCrashFault(Exception):
     site.  Deliberately *not* a :class:`~repro.core.exceptions.SynthesisError`:
     only the pool dispatcher catches it (to poison the outgoing chunk);
     anywhere else it is a loud test-harness bug."""
+
+
+class HostDeathFault(Exception):
+    """Fired by a ``host_death`` :class:`FaultSpec` at a queue-worker
+    solve site.  Like :class:`WorkerCrashFault`, not a
+    :class:`~repro.core.exceptions.SynthesisError`: only the queue
+    worker's shard loop catches it (to die or abandon the lease);
+    anywhere else it is a loud test-harness bug."""
+
+
+class HeartbeatStallFault(Exception):
+    """Fired by a ``heartbeat_stall`` :class:`FaultSpec` at the queue
+    worker's heartbeat-renewal site.  Caught only by the heartbeat
+    thread, which stops renewing — turning its host into a zombie whose
+    lease will expire under it while it keeps solving."""
+
+
+class StaleClockFault(Exception):
+    """Fired by a ``stale_clock`` :class:`FaultSpec` at the queue clock
+    site.  Carries the injected skew; :func:`repro.batch.queue.queue_now`
+    catches it and reports a time ``skew_s`` seconds away from the true
+    clock (positive skew = this host's clock runs fast, the
+    premature-takeover direction)."""
+
+    def __init__(self, message: str, skew_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.skew_s = skew_s
 
 
 @dataclass(frozen=True)
@@ -84,6 +134,9 @@ class FaultSpec:
     exception: Optional[Callable[[str], Exception]] = None
     #: ``stall`` kind only: how long the injector blocks at the site.
     stall_s: float = 0.0
+    #: ``stale_clock`` kind only: seconds the host's clock is off by
+    #: (positive = clock runs fast, the premature-takeover direction).
+    skew_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS and self.exception is None:
@@ -98,6 +151,10 @@ class FaultSpec:
             raise ValueError(f"stall specs need stall_s > 0, got {self.stall_s}")
         if self.kind != "stall" and self.stall_s != 0.0:
             raise ValueError(f"stall_s only applies to kind='stall', got kind={self.kind!r}")
+        if self.kind == "stale_clock" and self.skew_s == 0.0:
+            raise ValueError("stale_clock specs need a nonzero skew_s")
+        if self.kind != "stale_clock" and self.skew_s != 0.0:
+            raise ValueError(f"skew_s only applies to kind='stale_clock', got kind={self.kind!r}")
 
     def build_exception(self, site: str) -> Exception:
         """The exception this spec raises when it fires at ``site``."""
@@ -110,6 +167,12 @@ class FaultSpec:
             return BudgetExceeded(msg, reason="injected-node-budget")
         if self.kind == "worker_crash":
             return WorkerCrashFault(msg)
+        if self.kind == "host_death":
+            return HostDeathFault(msg)
+        if self.kind == "heartbeat_stall":
+            return HeartbeatStallFault(msg)
+        if self.kind == "stale_clock":
+            return StaleClockFault(msg, skew_s=self.skew_s)
         return TransientSolverError(msg)
 
 

@@ -1,0 +1,170 @@
+"""Shareable cache tier: pack export/import under partial-copy damage.
+
+The contract (:meth:`repro.core.cache.PersistentCache.import_from` /
+``export_to``): cache directories are exchangeable between hosts as
+plain file sets — rsync, shared mounts, CI artifacts — and folding one
+into another is an idempotent, content-addressed set-union.  A copy
+truncated mid-append (the racing-rsync case) contributes its intact
+records; torn tails are counted in ``corrupt_discarded`` and never
+imported, never served.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.cache import CACHE_VERSION, PersistentCache, persistent_cache
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.netgen import clustered_graph, two_tier_library
+
+
+def _instance(seed=0):
+    return (
+        clustered_graph(n_clusters=2, ports_per_cluster=3, n_arcs=4,
+                        separation=100.0, seed=seed),
+        two_tier_library(),
+    )
+
+
+def _warm(directory: Path, seed=0):
+    """Populate a cache directory with one real solve's derived results."""
+    graph, library = _instance(seed)
+    with persistent_cache(PersistentCache(directory)) as store:
+        result = synthesize(graph, library, SynthesisOptions())
+    assert store.stats.writes > 0
+    return result
+
+
+def _entry_files(directory: Path):
+    return sorted(directory.glob(f"*-v{CACHE_VERSION}-*.jsonl"))
+
+
+def _total_lines(directory: Path) -> int:
+    return sum(p.read_bytes().count(b"\n") for p in _entry_files(directory))
+
+
+# ----------------------------------------------------------------------
+# clean roundtrip
+# ----------------------------------------------------------------------
+
+
+def test_export_import_roundtrip_serves_hits(tmp_path):
+    _warm(tmp_path / "a")
+    with PersistentCache(tmp_path / "a") as a:
+        exported = a.export_to(tmp_path / "b")
+    assert exported == _total_lines(tmp_path / "a")
+    # a solve on "host B" over the imported pack is pure hits, no writes
+    graph, library = _instance()
+    with persistent_cache(PersistentCache(tmp_path / "b")) as b:
+        synthesize(graph, library, SynthesisOptions())
+    assert b.stats.hits > 0 and b.stats.writes == 0
+    assert b.stats.corrupt_discarded == 0
+
+
+def test_import_is_an_idempotent_union(tmp_path):
+    _warm(tmp_path / "a", seed=0)
+    _warm(tmp_path / "b", seed=1)  # different instance, same library family
+    with PersistentCache(tmp_path / "b") as b:
+        first = b.import_from(tmp_path / "a")
+        assert first > 0
+        assert b.import_from(tmp_path / "a") == 0  # already unioned
+    # the union serves both workloads hit-only
+    for seed in (0, 1):
+        graph, library = _instance(seed)
+        with persistent_cache(PersistentCache(tmp_path / "b")) as store:
+            synthesize(graph, library, SynthesisOptions())
+        assert store.stats.writes == 0, f"seed {seed} missed the union"
+
+
+def test_import_from_self_is_a_noop(tmp_path):
+    _warm(tmp_path / "a")
+    before = _total_lines(tmp_path / "a")
+    with PersistentCache(tmp_path / "a") as a:
+        assert a.import_from(tmp_path / "a") == 0
+    assert _total_lines(tmp_path / "a") == before
+
+
+def test_import_refreshes_an_open_handles_tables(tmp_path):
+    """A handle that already read (and missed on) a table must see
+    imported entries on the next lookup — the in-memory table is
+    invalidated, not stale."""
+    _warm(tmp_path / "a")
+    graph, library = _instance()
+    with PersistentCache(tmp_path / "b") as b:
+        # prime the in-memory table on the empty store: this miss caches
+        # an empty table for (p2p, this library's fingerprint)
+        found, _ = b.lookup("p2p", library, ["prime-the-table"])
+        assert not found
+        b.import_from(tmp_path / "a")
+        with persistent_cache(b):
+            synthesize(graph, library, SynthesisOptions())
+        assert b.stats.writes == 0  # everything served from the import
+
+
+# ----------------------------------------------------------------------
+# partial rsync: truncated copies
+# ----------------------------------------------------------------------
+
+
+def test_truncated_copies_at_arbitrary_offsets_never_serve_corrupt(tmp_path):
+    """Simulate rsync catching the source mid-append: copy every entry
+    file truncated at assorted byte offsets into a second host's dir.
+    Intact records import; the torn tail is counted in
+    ``corrupt_discarded`` and the imported pack still *serves* —
+    partially warm, never wrong."""
+    _warm(tmp_path / "a")
+    source_files = _entry_files(tmp_path / "a")
+    assert source_files
+    for path in source_files:
+        payload = path.read_bytes()
+        lines = payload.splitlines(keepends=True)
+        # cut points: mid-first-record, mid-file, mid-final-record
+        for cut in {len(lines[0]) // 2,
+                    len(payload) // 2,
+                    len(payload) - max(1, len(lines[-1]) // 2)}:
+            dest = tmp_path / f"b-{path.stem}-{cut}"
+            dest.mkdir()
+            (dest / path.name).write_bytes(payload[:cut])
+            with PersistentCache(dest) as pack:
+                # fold the torn copy into itself-as-a-store first: the
+                # defective destination lines must not block importing
+                with PersistentCache(tmp_path / f"c-{path.stem}-{cut}") as fresh:
+                    imported = fresh.import_from(dest)
+                    whole = payload[:cut].count(b"\n")
+                    # every fully-copied line is CRC-intact ⇒ imported;
+                    # the torn tail (if the cut split a line) is not
+                    assert imported == whole
+                    tail_torn = cut < len(payload) and payload[:cut] and (
+                        not payload[:cut].endswith(b"\n")
+                    )
+                    assert fresh.stats.corrupt_discarded == (1 if tail_torn else 0)
+                del pack  # noqa: F841 - context-managed close
+
+
+def test_torn_import_still_serves_the_intact_prefix(tmp_path):
+    """End-to-end: a half-copied cache still yields hits for whatever
+    survived the truncation, and a fresh solve over it is correct."""
+    baseline = _warm(tmp_path / "a")
+    for path in _entry_files(tmp_path / "a"):
+        payload = path.read_bytes()
+        (tmp_path / "b").mkdir(exist_ok=True)
+        (tmp_path / "b" / path.name).write_bytes(payload[: len(payload) // 2])
+    with PersistentCache(tmp_path / "host2") as host2:
+        host2.import_from(tmp_path / "b")
+    graph, library = _instance()
+    with persistent_cache(PersistentCache(tmp_path / "host2")) as store:
+        result = synthesize(graph, library, SynthesisOptions())
+    assert result.total_cost == baseline.total_cost
+    assert store.stats.corrupt_discarded == 0  # torn lines never made it in
+
+
+def test_foreign_version_files_are_ignored(tmp_path):
+    _warm(tmp_path / "a")
+    rogue = tmp_path / "a" / f"p2p-v{CACHE_VERSION + 1}-0123456789abcdef.jsonl"
+    rogue.write_text('{"not": "this version"}\n')
+    with PersistentCache(tmp_path / "b") as b:
+        imported = b.import_from(tmp_path / "a")
+    # _total_lines globs only this build's version, so it already
+    # excludes the rogue file — import must agree with it exactly
+    assert imported == _total_lines(tmp_path / "a")
+    assert not (tmp_path / "b" / rogue.name).exists()

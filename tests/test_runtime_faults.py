@@ -153,3 +153,37 @@ class TestStallFaults:
                 fault_point("s")
         assert naps == [0.5, 0.5]  # skipped hit 1, fired on 2 and 3 only
         assert inj.total_stalled_s == 1.0
+
+
+class TestQueueFaultKinds:
+    """The multi-host queue's fault kinds (see repro.batch.queue for the
+    sites that catch them)."""
+
+    def test_host_death_raises_its_dedicated_exception(self):
+        from repro.runtime import HostDeathFault
+
+        with FaultInjector([FaultSpec(site="queue.solve", kind="host_death")]):
+            with pytest.raises(HostDeathFault):
+                fault_point("queue.solve")
+
+    def test_heartbeat_stall_raises_its_dedicated_exception(self):
+        from repro.runtime import HeartbeatStallFault
+
+        with FaultInjector([FaultSpec(site="queue.heartbeat", kind="heartbeat_stall")]):
+            with pytest.raises(HeartbeatStallFault):
+                fault_point("queue.heartbeat")
+
+    def test_stale_clock_carries_its_skew(self):
+        from repro.runtime import StaleClockFault
+
+        with FaultInjector([FaultSpec(site="queue.clock", kind="stale_clock",
+                                      skew_s=-7.5)]):
+            with pytest.raises(StaleClockFault) as exc:
+                fault_point("queue.clock")
+        assert exc.value.skew_s == -7.5
+
+    def test_stale_clock_requires_nonzero_skew(self):
+        with pytest.raises(ValueError, match="skew_s"):
+            FaultSpec(site="s", kind="stale_clock")
+        with pytest.raises(ValueError, match="skew_s"):
+            FaultSpec(site="s", kind="error", skew_s=1.0)
