@@ -2,7 +2,7 @@
 
 from .charts import render_pareto_svg, render_sweep_svg
 from .markdown import breakdown_to_markdown, markdown_table, result_to_markdown
-from .pareto import ParetoPoint, latency_sweep, pareto_front
+from .pareto import ParetoPoint, dominance_front, latency_sweep, pareto_front
 from .sensitivity import StabilityReport, parameter_threshold, selection_stability
 from .report import (
     format_delta_table,
@@ -29,6 +29,7 @@ __all__ = [
     "ParetoPoint",
     "latency_sweep",
     "pareto_front",
+    "dominance_front",
     "parameter_threshold",
     "selection_stability",
     "StabilityReport",

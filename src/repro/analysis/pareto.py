@@ -10,14 +10,44 @@ the sweep and extracts the Pareto-efficient (hops, cost) frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.constraint_graph import ConstraintGraph
 from ..core.library import CommunicationLibrary
 from ..core.merging import MergingPlan
 from ..core.synthesis import SynthesisOptions, SynthesisResult, synthesize
 
-__all__ = ["ParetoPoint", "latency_sweep", "pareto_front"]
+__all__ = ["ParetoPoint", "dominance_front", "latency_sweep", "pareto_front"]
+
+_P = TypeVar("_P")
+
+
+def dominance_front(
+    points: Sequence[_P], key: Callable[[_P], Tuple[float, ...]]
+) -> List[_P]:
+    """The non-dominated subset under component-wise minimization.
+
+    ``key(p)`` maps a point to its objective tuple; ``q`` dominates
+    ``p`` when ``key(q) <= key(p)`` component-wise with at least one
+    strict inequality.  Points with exactly equal keys collapse to the
+    first representative.  Returned sorted by key — the generic engine
+    behind both the hops×cost front below and the closed loop's
+    cost×latency front (:mod:`repro.loop`).
+    """
+    keyed = [(tuple(key(p)), p) for p in points]
+    front: List[Tuple[Tuple[float, ...], _P]] = []
+    seen = set()
+    for kp, p in keyed:
+        if any(
+            kq != kp and all(a <= b for a, b in zip(kq, kp)) for kq, _ in keyed
+        ):
+            continue
+        if kp in seen:
+            continue
+        seen.add(kp)
+        front.append((kp, p))
+    front.sort(key=lambda pair: pair[0])
+    return [p for _, p in front]
 
 
 @dataclass(frozen=True)

@@ -57,7 +57,7 @@ __all__ = [
     "EXIT_CHECKPOINT_INCOMPATIBLE",
 ]
 
-_DEMOS = ("wan", "mpeg4", "lan", "soc")
+_DEMOS = ("wan", "mpeg4", "lan", "soc", "collective")
 
 #: exit-code taxonomy (also in every subcommand's --help epilog):
 #: 0 = success, 1 = runtime failure, 2 = infeasible instance (or a
@@ -163,6 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="compute-kernel backend for the numeric hot paths; every "
         "backend is bit-identical on results (default: REPRO_KERNELS "
         "env var, else fastest available)",
+    )
+    syn.add_argument(
+        "--demand-margin",
+        type=_nonnegative_seconds,
+        default=0.0,
+        metavar="M",
+        help="uniform static headroom: synthesize as if every bandwidth "
+        "were (1+M) times larger (default 0; see 'repro tune' for the "
+        "feedback-driven selective version)",
     )
     syn.add_argument("--no-validate", action="store_true", help="skip Def. 2.4 validation")
     syn.add_argument(
@@ -431,11 +440,69 @@ def build_parser() -> argparse.ArgumentParser:
                      help="hop budgets to sweep (an unconstrained point is always added)")
     par.add_argument("--max-arity", type=int, default=4)
     par.add_argument("--svg", help="write the frontier chart here")
+
+    tun = sub.add_parser(
+        "tune",
+        help="closed-loop traffic-aware synthesis: synthesize, simulate "
+        "the margin workload, tighten congested channels, repeat to "
+        "convergence; --margin-sweep emits the cost x simulated-latency "
+        "Pareto front (exit 1 when the loop fails to converge)",
+        epilog=_EXIT_CODES_EPILOG,
+    )
+    tun.add_argument("instance", help="instance file from repro.io.save_instance")
+    tun.add_argument(
+        "--margin",
+        type=_nonnegative_seconds,
+        default=0.2,
+        metavar="M",
+        help="overload headroom to sustain: the workload is simulated at "
+        "(1+M) times the nominal rates (default 0.2)",
+    )
+    tun.add_argument(
+        "--margin-sweep",
+        type=_nonnegative_seconds,
+        nargs="+",
+        default=None,
+        metavar="M",
+        help="run the loop once per margin and report the dominance-free "
+        "cost x latency front over the converged points",
+    )
+    tun.add_argument(
+        "--sim",
+        choices=("fluid", "packets"),
+        default="fluid",
+        help="verdict engine inside the loop (default fluid; the packet "
+        "engine always cross-checks the final design)",
+    )
+    tun.add_argument("--duration", type=float, default=200.0,
+                     help="fluid simulation horizon in time units (default 200)")
+    tun.add_argument("--max-iterations", type=int, default=8)
+    tun.add_argument("--max-arity", type=int, default=None, help="cap merge size K")
+    tun.add_argument("--strategy", choices=STRATEGIES, default="auto")
+    tun.add_argument("--out", help="write the tune/sweep JSON here "
+                     "(run-invariant: identical runs are byte-identical)")
+    tun.add_argument(
+        "--export-instance",
+        metavar="FILE",
+        help="single-margin mode: write the converged tightened instance "
+        "as a JSON instance file (the shippable design point)",
+    )
+    tun.add_argument("--quiet", action="store_true", help="suppress the text report")
+    tun.add_argument("--trace", metavar="FILE",
+                     help="write a Chrome trace-event JSON of the loop here")
+    tun.add_argument("--trace-summary", action="store_true",
+                     help="print a text summary of loop spans/counters")
     return parser
 
 
 def _demo_instance(name: str):
-    from .domains import lan_example, mpeg4_example, soc_example, wan_example
+    from .domains import (
+        collective_allgather_example,
+        lan_example,
+        mpeg4_example,
+        soc_example,
+        wan_example,
+    )
     from .domains.mpeg4 import MPEG4_MAX_ARITY
 
     builders = {
@@ -443,6 +510,7 @@ def _demo_instance(name: str):
         "mpeg4": (mpeg4_example, MPEG4_MAX_ARITY),
         "lan": (lan_example, 3),
         "soc": (soc_example, 3),
+        "collective": (collective_allgather_example, 4),
     }
     builder, default_arity = builders[name]
     graph, library = builder()
@@ -490,6 +558,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         max_cluster_arcs=args.max_cluster_arcs,
         kernels=args.kernels,
+        demand_margin=args.demand_margin,
     )
     if args.resume:
         _report_checkpoint_tail(args, graph, library, options)
@@ -703,6 +772,90 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from types import SimpleNamespace
+
+    from .loop import LoopOptions, margin_sweep, sweep_front, sweep_to_json, tune
+
+    graph, library = load_instance(args.instance)
+    options = SynthesisOptions(max_arity=args.max_arity, strategy=args.strategy)
+    loop = LoopOptions(
+        margin=args.margin,
+        max_iterations=args.max_iterations,
+        sim=args.sim,
+        duration=args.duration,
+    )
+    trace_requested = bool(args.trace or args.trace_summary)
+    tracer = None
+    if trace_requested:
+        from .obs import Tracer
+
+        tracer = Tracer(label=f"tune:{graph.name}")
+
+    if args.margin_sweep:
+        if args.export_instance:
+            print("error: --export-instance needs a single --margin run "
+                  "(a sweep has no single design point)", file=sys.stderr)
+            return 2
+        points = margin_sweep(
+            graph, library, margins=args.margin_sweep,
+            options=options, loop=loop, trace=tracer or False,
+        )
+        front = sweep_front(points)
+        if not args.quiet:
+            print(f"{'margin':>7} {'cost':>14} {'latency':>12} {'iters':>6} "
+                  f"{'converged':>10} {'on front':>9}")
+            for p in points:
+                print(f"{p.margin:>7g} {p.cost:>14,.1f} {p.latency:>12.6g} "
+                      f"{p.iterations:>6} {str(p.converged):>10} "
+                      f"{'*' if p in front else '':>9}")
+        if args.out:
+            atomic_write(
+                args.out,
+                sweep_to_json(points, front, instance=graph.name, sim=args.sim),
+            )
+            if not args.quiet:
+                print(f"sweep JSON written to {args.out}")
+        if tracer is not None:
+            _emit_trace(args, SimpleNamespace(trace=tracer))
+        return 0 if all(p.converged for p in points) else 1
+
+    result = tune(graph, library, options=options, loop=loop, trace=tracer or False)
+    if not args.quiet:
+        print(f"{'iter':>4} {'cost':>14} flagged")
+        for rec in result.iterations:
+            flagged = ", ".join(rec.flagged) or "-"
+            print(f"{rec.index:>4} {rec.cost:>14,.1f} {flagged}")
+        if result.converged:
+            print(f"converged in {result.n_iterations} iteration(s): "
+                  f"cost {result.cost:,.1f}, worst mean latency {result.latency:.6g}")
+        else:
+            print(f"NOT converged: {result.failure}")
+        if result.cross_check_agrees is not None:
+            verdict = "agrees" if result.cross_check_agrees else "DISAGREES"
+            print(f"cross-check ({'packets' if args.sim == 'fluid' else 'fluid'}): "
+                  f"{verdict}")
+        if result.margins:
+            tightened = ", ".join(
+                f"{name} x{mult:g}" for name, mult in sorted(result.margins.items())
+            )
+            print(f"tightened: {tightened}")
+    if args.out:
+        atomic_write(
+            args.out,
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+        )
+        if not args.quiet:
+            print(f"tune JSON written to {args.out}")
+    if args.export_instance:
+        save_instance(args.export_instance, result.graph, library)
+        if not args.quiet:
+            print(f"tightened instance written to {args.export_instance}")
+    if tracer is not None:
+        _emit_trace(args, SimpleNamespace(trace=tracer))
+    return 0 if result.converged else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import ServeConfig, serve_forever
 
@@ -743,6 +896,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lid": _cmd_lid,
         "simulate": _cmd_simulate,
         "pareto": _cmd_pareto,
+        "tune": _cmd_tune,
     }
     try:
         return handlers[args.command](args)

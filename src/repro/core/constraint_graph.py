@@ -297,6 +297,44 @@ class ConstraintGraph:
             graph.add_channel(arc_name, str(u), str(v), bandwidth=float(data[bandwidth_attr]))
         return graph
 
+    def with_bandwidths(self, overrides: Dict[str, float]) -> "ConstraintGraph":
+        """A copy of the graph with some arcs' bandwidths replaced.
+
+        Ports, geometry, arc names and insertion order are preserved;
+        only ``b(a)`` changes for the named arcs.  This is the
+        tightening primitive of the closed loop (:mod:`repro.loop`):
+        simulation feedback becomes a new provisioning requirement
+        without perturbing anything a fingerprint or candidate
+        generator keys on besides bandwidth.  Unknown arc names raise
+        :class:`ModelError`.
+        """
+        unknown = sorted(set(overrides) - set(self._arcs))
+        if unknown:
+            raise ModelError(f"with_bandwidths: unknown arcs {unknown}")
+        out = ConstraintGraph(norm=self.norm, name=self.name)
+        for port in self._ports.values():
+            out.add_port(port.name, port.position, port.module)
+        for arc in self._arcs.values():
+            out.add_channel(
+                arc.name,
+                arc.source.name,
+                arc.target.name,
+                bandwidth=overrides.get(arc.name, arc.bandwidth),
+                distance=arc.distance,
+            )
+        return out
+
+    def with_scaled_bandwidths(self, factor: float) -> "ConstraintGraph":
+        """A copy with every ``b(a)`` multiplied by ``factor`` — the
+        uniform demand-margin transform (``factor = 1 + margin``)."""
+        if factor <= 0:
+            raise ModelError(f"bandwidth scale factor must be positive, got {factor}")
+        if factor == 1.0:
+            return self
+        return self.with_bandwidths(
+            {a.name: a.bandwidth * factor for a in self._arcs.values()}
+        )
+
     def subgraph(self, arc_names: Iterable[str]) -> "ConstraintGraph":
         """Projection of the graph onto a subset of arcs (Definition 3.1's
         ``G^k``): the returned graph has exactly those arcs and the ports

@@ -230,7 +230,12 @@ class IncrementalSynthesizer:
         start = time.perf_counter()
         candidates = self._ensure_candidates()
         covering = build_covering_problem(self._graph, candidates)
-        cover = solve_cover(covering, self.options.solver_options)
+        if self.options.ucp_solver == "ilp":
+            from ..covering.ilp import solve_ilp
+
+            cover = solve_ilp(covering)
+        else:
+            cover = solve_cover(covering, self.options.solver_options)
         by_label = {c.label(): c for c in candidates.all}
         selected = [by_label[n] for n in cover.column_names]
         impl = materialize_selection(

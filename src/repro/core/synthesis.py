@@ -163,6 +163,14 @@ class SynthesisOptions:
     #: result JSON — an execution knob, not a semantic one — so it is
     #: excluded from checkpoint fingerprints.  See :mod:`repro.kernels`.
     kernels: Optional[str] = None
+    #: uniform static headroom: synthesize as if every ``b(a)`` were
+    #: ``(1 + demand_margin)`` times larger, so the architecture keeps
+    #: slack for bursts/overload.  ``0.0`` (default) reproduces the
+    #: paper exactly.  The closed loop (:mod:`repro.loop`) instead
+    #: tightens arcs *selectively* from simulation feedback and leaves
+    #: this at 0 to avoid double-scaling.  Result-shaping, so it is
+    #: part of the checkpoint fingerprint.
+    demand_margin: float = 0.0
 
 
 @dataclass
@@ -310,6 +318,10 @@ def synthesize(
         raise SynthesisError(
             f"max_cluster_arcs must be >= 2 or None, got {options.max_cluster_arcs}"
         )
+    if not (options.demand_margin >= 0.0):
+        raise SynthesisError(
+            f"demand_margin must be >= 0, got {options.demand_margin}"
+        )
     library.validate()
 
     if trace is True:
@@ -418,6 +430,11 @@ def _synthesize_journaled(
     start: float,
 ) -> SynthesisResult:
     tracer = current_tracer()
+    if options.demand_margin:
+        # every strategy below sees only the inflated demands; the
+        # fingerprint was taken over the original graph + options (which
+        # include the margin), so journals stay consistent either way.
+        graph = graph.with_scaled_bandwidths(1.0 + options.demand_margin)
     strategy = resolve_strategy(options.strategy, len(graph))
     with tracer.span(
         "synthesize",

@@ -10,6 +10,11 @@
   third motivating domain.
 """
 
+from .collective import (
+    collective_allgather_example,
+    collective_allreduce_example,
+    collective_library,
+)
 from .lan import lan_example, lan_library
 from .lid import classify_repeaters, lid_aware_synthesize, lid_cost, lid_example
 from .mpeg4 import mpeg4_constraint_graph, mpeg4_example
@@ -35,4 +40,7 @@ __all__ = [
     "lid_aware_synthesize",
     "lid_cost",
     "lid_example",
+    "collective_library",
+    "collective_allreduce_example",
+    "collective_allgather_example",
 ]

@@ -21,6 +21,7 @@ from ..core.synthesis import SynthesisOptions, synthesize
 
 __all__ = ["CONFORMANCE_CASES", "conformance_record", "conformance_snapshot"]
 
+from .collective import collective_allgather_example, collective_allreduce_example
 from .lan import lan_example
 from .lid import lid_example
 from .mpeg4 import mpeg4_example
@@ -39,6 +40,8 @@ CONFORMANCE_CASES: Dict[str, Tuple[Callable, Optional[int]]] = {
     "multichip": (multichip_example, 3),
     "mpeg4": (mpeg4_example, 3),
     "lid": (lid_example, 3),
+    "collective_allreduce": (collective_allreduce_example, None),
+    "collective_allgather": (collective_allgather_example, 4),
 }
 
 

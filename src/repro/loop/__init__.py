@@ -1,0 +1,24 @@
+"""Closed-loop traffic-aware synthesis (ROADMAP item 3a).
+
+:func:`tune` runs synthesize → simulate → tighten until the simulated
+architecture sustains the margin workload with bounded queues;
+:func:`margin_sweep` repeats it across a margin grid and
+:func:`sweep_front` extracts the cost × simulated-latency Pareto
+front.  See :mod:`repro.loop.driver` for the algorithm and
+:mod:`repro.loop.sweep` for the front/JSON plumbing.
+"""
+
+from .driver import IterationRecord, LoopOptions, TuneResult, tune
+from .sweep import DEFAULT_MARGINS, SweepPoint, margin_sweep, sweep_front, sweep_to_json
+
+__all__ = [
+    "tune",
+    "LoopOptions",
+    "TuneResult",
+    "IterationRecord",
+    "margin_sweep",
+    "sweep_front",
+    "sweep_to_json",
+    "SweepPoint",
+    "DEFAULT_MARGINS",
+]

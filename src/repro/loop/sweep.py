@@ -1,0 +1,137 @@
+"""Margin sweep: the closed loop's cost × simulated-latency front.
+
+Each margin is one independent :func:`repro.loop.tune` run; the sweep
+collects (cost, latency) per margin and extracts the non-dominated
+subset with :func:`repro.analysis.dominance_front`.  Larger margins
+buy latency headroom (faster links, emptier queues) with money — the
+designer picks a point, exports the tightened instance, and ships it.
+
+Everything serialized here is run-invariant (no wall-clock, no
+machine facts), so two identical sweeps produce byte-identical JSON —
+pinned by the metamorphic test pack.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..analysis.pareto import dominance_front
+from ..core.constraint_graph import ConstraintGraph
+from ..core.library import CommunicationLibrary
+from ..core.synthesis import SynthesisOptions
+from ..obs.tracer import Tracer
+from .driver import LoopOptions, TuneResult, tune
+
+__all__ = ["SweepPoint", "margin_sweep", "sweep_front", "sweep_to_json"]
+
+#: default margin grid — 0 validates the paper's operating point, the
+#: rest probe increasing overload headroom.
+DEFAULT_MARGINS: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One margin's outcome, distilled for front extraction."""
+
+    margin: float
+    cost: float
+    latency: float
+    iterations: int
+    converged: bool
+    #: arcs the loop tightened (sorted), with their final multipliers.
+    tightened: Tuple[Tuple[str, float], ...]
+
+    def dominates(self, other: "SweepPoint") -> bool:
+        """Weakly better on cost and latency, strictly on one."""
+        return (
+            self.cost <= other.cost
+            and self.latency <= other.latency
+            and (self.cost < other.cost or self.latency < other.latency)
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "margin": self.margin,
+            "cost": self.cost,
+            "latency": self.latency,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "tightened": {name: mult for name, mult in self.tightened},
+        }
+
+
+def _point(result: TuneResult) -> SweepPoint:
+    return SweepPoint(
+        margin=result.margin,
+        cost=result.cost,
+        latency=result.latency,
+        iterations=result.n_iterations,
+        converged=result.converged,
+        tightened=tuple(sorted(result.margins.items())),
+    )
+
+
+def margin_sweep(
+    graph: ConstraintGraph,
+    library: CommunicationLibrary,
+    margins: Sequence[float] = DEFAULT_MARGINS,
+    options: Optional[SynthesisOptions] = None,
+    loop: Optional[LoopOptions] = None,
+    trace: Union[bool, Tracer] = False,
+) -> List[SweepPoint]:
+    """One closed-loop run per margin, in the given order."""
+    if not margins:
+        raise ValueError("margins must be a nonempty sequence")
+    base = loop or LoopOptions()
+    points: List[SweepPoint] = []
+    for margin in margins:
+        result = tune(
+            graph,
+            library,
+            options=options,
+            loop=LoopOptions(
+                margin=margin,
+                max_iterations=base.max_iterations,
+                sim=base.sim,
+                duration=base.duration,
+                dt=base.dt,
+                queue_bound_fraction=base.queue_bound_fraction,
+                packet_duration=base.packet_duration,
+                packet_bits=base.packet_bits,
+                distance_delay=base.distance_delay,
+                cross_check=base.cross_check,
+            ),
+            trace=trace,
+        )
+        points.append(_point(result))
+    return points
+
+
+def sweep_front(points: Sequence[SweepPoint]) -> List[SweepPoint]:
+    """The dominance-free cost × latency subset of the *converged*
+    points, sorted by (cost, latency).  Unconverged points never make
+    the front — an architecture that fails its own simulation is not a
+    design point."""
+    eligible = [p for p in points if p.converged]
+    return dominance_front(eligible, key=lambda p: (p.cost, p.latency))
+
+
+def sweep_to_json(
+    points: Sequence[SweepPoint],
+    front: Optional[Sequence[SweepPoint]] = None,
+    instance: str = "",
+    sim: str = "fluid",
+) -> str:
+    """Canonical JSON for a sweep: sorted keys, 2-space indent,
+    trailing newline — byte-identical across identical runs."""
+    if front is None:
+        front = sweep_front(points)
+    doc = {
+        "instance": instance,
+        "sim": sim,
+        "points": [p.to_dict() for p in points],
+        "front": [p.to_dict() for p in front],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

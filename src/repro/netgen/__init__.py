@@ -7,6 +7,12 @@ opposite regime (merging rarely helps); the parametric topologies
 (parallel channels, star, hub pairs) isolate single effects.
 """
 
+from .collectives import (
+    all_to_all_graph,
+    allgather_graph,
+    ring_allreduce_graph,
+    tree_allreduce_graph,
+)
 from .floorplans import grid_floorplan, hotspot_traffic, pipeline_traffic, uniform_traffic
 from .libraries import random_library, two_tier_library
 from .random_graphs import (
@@ -31,4 +37,8 @@ __all__ = [
     "uniform_traffic",
     "ring_graph",
     "mesh_graph",
+    "ring_allreduce_graph",
+    "tree_allreduce_graph",
+    "allgather_graph",
+    "all_to_all_graph",
 ]

@@ -107,6 +107,9 @@ def instance_fingerprint(graph, library, options=None) -> str:
             # would replay chunks into a differently-shaped run
             "strategy": options.strategy,
             "max_cluster_arcs": options.max_cluster_arcs,
+            # demand_margin inflates every b(a) before planning — as
+            # result-shaping as it gets
+            "demand_margin": options.demand_margin,
         }
     digest = hashlib.sha256(_canonical(doc).encode("utf-8")).hexdigest()
     return digest

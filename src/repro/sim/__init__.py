@@ -15,6 +15,7 @@ collapse on the starved channels.
 
 from .fluid import ChannelStats, LinkStats, SimulationResult, simulate
 from .packets import PacketChannelStats, PacketSimResult, simulate_packets
+from .traffic import Demand, TrafficSpec
 
 __all__ = [
     "simulate",
@@ -24,4 +25,6 @@ __all__ = [
     "simulate_packets",
     "PacketSimResult",
     "PacketChannelStats",
+    "Demand",
+    "TrafficSpec",
 ]

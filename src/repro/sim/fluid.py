@@ -26,11 +26,12 @@ answers (can the rates be sustained?) in feed-forward graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.constraint_graph import ConstraintGraph
 from ..core.exceptions import ValidationError
 from ..core.implementation import ImplementationGraph, Path
+from .traffic import TrafficSpec
 
 __all__ = ["ChannelStats", "LinkStats", "SimulationResult", "simulate"]
 
@@ -86,35 +87,42 @@ def simulate(
     duration: float = 200.0,
     dt: float = 1.0,
     demand_scale: float = 1.0,
+    traffic: Optional[TrafficSpec] = None,
 ) -> SimulationResult:
     """Run the fluid simulation for ``duration`` time units.
 
-    ``demand_scale`` multiplies every channel's injection rate —
-    ``1.0`` validates the synthesized operating point, ``> 1`` probes
-    overload behaviour.  Raises :class:`ValidationError` when some
-    constraint arc has no registered implementation.
+    The workload is ``traffic`` when given, else the graph's own
+    demands (``b(a)`` per arc); ``demand_scale`` multiplies every rate
+    either way — ``1.0`` validates the synthesized operating point,
+    ``> 1`` probes overload behaviour.  A ``traffic`` spec may cover a
+    subset of the arcs (the rest stay idle) but must not name unknown
+    channels.  Raises :class:`ValidationError` when a simulated arc has
+    no registered implementation or the spec names a stranger.
     """
     if duration <= 0 or dt <= 0:
         raise ValueError("duration and dt must be positive")
 
+    spec = traffic if traffic is not None else TrafficSpec.from_graph(constraints)
+    spec.check_against(constraints)
+    if demand_scale != 1.0:
+        spec = spec.scaled(demand_scale)
+
     flows: List[_Flow] = []
     inject_rate: Dict[int, float] = {}
-    for arc in constraints.arcs:
-        paths = impl.arc_implementation(arc.name)  # raises ModelError if absent
+    for dem in spec.demands:
+        paths = impl.arc_implementation(dem.channel)  # raises ModelError if absent
         if not paths:
-            raise ValidationError(f"arc {arc.name!r} has no paths to simulate")
-        share = arc.bandwidth * demand_scale / len(paths)
+            raise ValidationError(f"arc {dem.channel!r} has no paths to simulate")
+        share = dem.rate / len(paths)
         for path in paths:
             inject_rate[len(flows)] = share
-            flows.append((arc.name, path))
+            flows.append((dem.channel, path))
 
     # backlog[flow index][stage index] = fluid queued before that link
     backlog: List[List[float]] = [[0.0] * len(path) for _, path in flows]
-    delivered: Dict[str, float] = {a.name: 0.0 for a in constraints.arcs}
-    peak_backlog: Dict[str, float] = {a.name: 0.0 for a in constraints.arcs}
-    demand: Dict[str, float] = {
-        a.name: a.bandwidth * demand_scale for a in constraints.arcs
-    }
+    delivered: Dict[str, float] = {d.channel: 0.0 for d in spec.demands}
+    peak_backlog: Dict[str, float] = {d.channel: 0.0 for d in spec.demands}
+    demand: Dict[str, float] = spec.rates()
 
     # which (flow, stage) pairs contend for each link instance
     users_of_link: Dict[str, List[Tuple[int, int]]] = {}

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.constraint_graph import ConstraintGraph
 from ..core.implementation import ImplementationGraph, Path
+from .traffic import TrafficSpec
 
 __all__ = ["PacketChannelStats", "PacketSimResult", "simulate_packets"]
 
@@ -43,6 +44,9 @@ class PacketChannelStats:
     mean_latency: float
     max_latency: float
     hops: int
+    demand: float = 0.0
+    throughput: float = 0.0
+    satisfied: bool = True
 
     @property
     def in_flight(self) -> int:
@@ -61,6 +65,16 @@ class PacketSimResult:
         """The slowest channel's mean end-to-end delay."""
         return max(c.mean_latency for c in self.channels.values())
 
+    @property
+    def all_satisfied(self) -> bool:
+        """True when every channel sustains its demand (same question
+        the fluid simulator answers, modulo packet quantization)."""
+        return all(c.satisfied for c in self.channels.values())
+
+    def starved_channels(self) -> List[str]:
+        """Names of channels failing to sustain their demand, sorted."""
+        return sorted(n for n, c in self.channels.items() if not c.satisfied)
+
 
 @dataclass(order=True)
 class _Event:
@@ -78,24 +92,32 @@ def simulate_packets(
     duration: float,
     packet_bits: float = 1.0e4,
     distance_delay: float = 0.0,
+    traffic: Optional[TrafficSpec] = None,
 ) -> PacketSimResult:
     """Run the discrete-event simulation for ``duration`` time units.
 
-    ``distance_delay`` adds propagation delay per unit of link length
-    (e.g. 5e-9 s/m for on-board signalling with time in seconds and
-    lengths in meters); the default 0 isolates serialization+queueing.
+    The workload is ``traffic`` when given (a subset of the arcs is
+    allowed; the rest stay silent), else the graph's own ``b(a)``
+    rates.  ``distance_delay`` adds propagation delay per unit of link
+    length (e.g. 5e-9 s/m for on-board signalling with time in seconds
+    and lengths in meters); the default 0 isolates
+    serialization+queueing.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
     if packet_bits <= 0:
         raise ValueError("packet_bits must be positive")
 
+    spec = traffic if traffic is not None else TrafficSpec.from_graph(constraints)
+    spec.check_against(constraints)
+    rates = spec.rates()
+
     # per-channel path lists and emission parameters
     paths: Dict[str, List[Path]] = {}
     interval: Dict[str, float] = {}
-    for index, arc in enumerate(constraints.arcs):
-        paths[arc.name] = impl.arc_implementation(arc.name)
-        interval[arc.name] = packet_bits / arc.bandwidth
+    for channel, rate in rates.items():
+        paths[channel] = impl.arc_implementation(channel)
+        interval[channel] = packet_bits / rate
 
     serialization: Dict[str, float] = {}
     propagation: Dict[str, float] = {}
@@ -105,21 +127,23 @@ def simulate_packets(
 
     link_free_at: Dict[str, float] = {a.name: 0.0 for a in impl.arcs}
 
-    sent: Dict[str, int] = {a.name: 0 for a in constraints.arcs}
-    received: Dict[str, int] = {a.name: 0 for a in constraints.arcs}
-    latency_sum: Dict[str, float] = {a.name: 0.0 for a in constraints.arcs}
-    latency_max: Dict[str, float] = {a.name: 0.0 for a in constraints.arcs}
+    sent: Dict[str, int] = {name: 0 for name in rates}
+    received: Dict[str, int] = {name: 0 for name in rates}
+    received_late: Dict[str, int] = {name: 0 for name in rates}
+    latency_sum: Dict[str, float] = {name: 0.0 for name in rates}
+    latency_max: Dict[str, float] = {name: 0.0 for name in rates}
     rr: Dict[str, itertools.cycle] = {
         name: itertools.cycle(range(len(plist))) for name, plist in paths.items()
     }
 
+    half_time = duration / 2.0
     seq = itertools.count()
     events: List[_Event] = []
-    for index, arc in enumerate(constraints.arcs):
+    for index, name in enumerate(rates):
         # stagger first emissions so co-located channels interleave
-        phase = interval[arc.name] * (index / max(1, len(constraints.arcs)))
+        phase = interval[name] * (index / max(1, len(rates)))
         heapq.heappush(
-            events, _Event(time=phase, seq=next(seq), kind="emit", channel=arc.name)
+            events, _Event(time=phase, seq=next(seq), kind="emit", channel=name)
         )
 
     def schedule_hop(channel: str, path: Path, stage: int, t: float, emitted: float) -> None:
@@ -164,21 +188,31 @@ def simulate_packets(
                 schedule_hop(ev.channel, path, stage + 1, ev.time, emitted)
             else:
                 received[ev.channel] += 1
+                if ev.time > half_time:
+                    received_late[ev.channel] += 1
                 delay = ev.time - emitted
                 latency_sum[ev.channel] += delay
                 if delay > latency_max[ev.channel]:
                     latency_max[ev.channel] = delay
 
     channels = {}
-    for arc in constraints.arcs:
-        name = arc.name
+    for name, rate in rates.items():
         hops = max(len(p) for p in paths[name]) - 1
         n = received[name]
+        # steady-state throughput over the second half of the run; the
+        # sustained verdict allows a two-packet quantization slack so a
+        # healthy channel's off-by-one delivery never reads as starved.
+        throughput = received_late[name] * packet_bits / (duration - half_time)
+        expected_late = rate * (duration - half_time) / packet_bits
+        satisfied = (received_late[name] + 2) >= 0.99 * expected_late
         channels[name] = PacketChannelStats(
             sent=sent[name],
             received=n,
             mean_latency=(latency_sum[name] / n) if n else float("inf"),
             max_latency=latency_max[name] if n else float("inf"),
             hops=hops,
+            demand=rate,
+            throughput=throughput,
+            satisfied=satisfied,
         )
     return PacketSimResult(duration=duration, channels=channels)

@@ -1,0 +1,178 @@
+"""The shared traffic specification both simulators consume.
+
+Historically each simulator derived its injection rates ad hoc from the
+constraint graph (``b(a)`` times a scale factor).  The closed loop
+(:mod:`repro.loop`) needs to *decouple* the simulated workload from the
+synthesized provisioning — synthesis sees tightened bandwidths while
+the simulator replays the real (scaled) demands — so the workload is
+now a first-class value: a :class:`TrafficSpec` is an ordered set of
+per-channel :class:`Demand` rates, derived from a constraint graph,
+scalable, and JSON round-trippable (the form the CLI and the loop's
+artifacts use).
+
+Both :func:`repro.sim.simulate` and :func:`repro.sim.simulate_packets`
+accept a ``traffic`` spec; when omitted they fall back to the
+historical graph-derived workload, so every existing call site is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from ..core.constraint_graph import ConstraintGraph
+from ..core.exceptions import ValidationError
+
+__all__ = ["Demand", "TrafficSpec"]
+
+#: schema tag for the JSON form — bump on incompatible layout changes.
+TRAFFIC_SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Demand:
+    """One channel's offered load: ``rate`` units of data per unit time.
+
+    ``channel`` names a constraint arc; ``rate`` plays the role of
+    ``b(a)`` but belongs to the *workload*, not the provisioning — the
+    loop deliberately simulates rates above the synthesized bandwidth.
+    """
+
+    channel: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.channel:
+            raise ValueError("demand channel must be a nonempty string")
+        if not isinstance(self.rate, (int, float)) or isinstance(self.rate, bool):
+            raise ValueError(f"demand {self.channel!r}: rate must be a number")
+        if not math.isfinite(self.rate) or self.rate <= 0:
+            raise ValueError(
+                f"demand {self.channel!r}: rate must be positive and finite, "
+                f"got {self.rate!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """An ordered, duplicate-free collection of channel demands."""
+
+    demands: Tuple[Demand, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for demand in self.demands:
+            if not isinstance(demand, Demand):
+                raise ValueError(f"not a Demand: {demand!r}")
+            if demand.channel in seen:
+                raise ValueError(f"duplicate demand for channel {demand.channel!r}")
+            seen.add(demand.channel)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: ConstraintGraph, scale: float = 1.0) -> "TrafficSpec":
+        """The graph's own demands, ``b(a) * scale`` per arc."""
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError(f"scale must be positive and finite, got {scale!r}")
+        return cls(
+            demands=tuple(
+                Demand(channel=a.name, rate=a.bandwidth * scale) for a in graph.arcs
+            )
+        )
+
+    def scaled(self, factor: float) -> "TrafficSpec":
+        """Every rate multiplied by ``factor`` (overload probing)."""
+        if not math.isfinite(factor) or factor <= 0:
+            raise ValueError(f"factor must be positive and finite, got {factor!r}")
+        if factor == 1.0:
+            return self
+        return TrafficSpec(
+            demands=tuple(Demand(d.channel, d.rate * factor) for d in self.demands)
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.demands)
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """Channel names in demand order."""
+        return tuple(d.channel for d in self.demands)
+
+    def rate(self, channel: str) -> float:
+        for d in self.demands:
+            if d.channel == channel:
+                return d.rate
+        raise KeyError(f"no demand for channel {channel!r}")
+
+    def rates(self) -> Dict[str, float]:
+        """``{channel: rate}`` in demand order."""
+        return {d.channel: d.rate for d in self.demands}
+
+    def min_rate(self) -> float:
+        """The slowest channel's rate (packet-parameter derivation)."""
+        if not self.demands:
+            raise ValueError("empty traffic spec has no rates")
+        return min(d.rate for d in self.demands)
+
+    def check_against(self, graph: ConstraintGraph) -> None:
+        """Every spec channel must name an arc of ``graph``.
+
+        Raises :class:`~repro.core.exceptions.ValidationError` naming
+        the first stranger — the simulators call this before running so
+        a typo'd workload fails loudly instead of simulating nothing.
+        """
+        known = {a.name for a in graph.arcs}
+        for d in self.demands:
+            if d.channel not in known:
+                raise ValidationError(
+                    f"traffic spec names channel {d.channel!r} which is not an "
+                    f"arc of constraint graph {graph.name!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # JSON form
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "version": TRAFFIC_SPEC_VERSION,
+            "demands": [
+                {"channel": d.channel, "rate": d.rate} for d in self.demands
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TrafficSpec":
+        """Parse the :meth:`to_dict` form; raises :class:`ValueError`
+        naming the offending field on any malformation."""
+        if not isinstance(doc, Mapping):
+            raise ValueError(f"traffic spec must be an object, got {type(doc).__name__}")
+        version = doc.get("version")
+        if version != TRAFFIC_SPEC_VERSION:
+            raise ValueError(
+                f"traffic spec version: expected {TRAFFIC_SPEC_VERSION}, got {version!r}"
+            )
+        raw = doc.get("demands")
+        if not isinstance(raw, (list, tuple)):
+            raise ValueError("traffic spec demands: expected a list")
+        demands = []
+        for i, entry in enumerate(raw):
+            if not isinstance(entry, Mapping):
+                raise ValueError(f"traffic spec demands[{i}]: expected an object")
+            extra = set(entry) - {"channel", "rate"}
+            if extra:
+                raise ValueError(
+                    f"traffic spec demands[{i}]: unknown fields {sorted(extra)}"
+                )
+            try:
+                demands.append(Demand(channel=entry.get("channel"), rate=entry.get("rate")))
+            except ValueError as exc:
+                raise ValueError(f"traffic spec demands[{i}]: {exc}") from None
+        return cls(demands=tuple(demands))

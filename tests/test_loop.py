@@ -1,0 +1,297 @@
+"""Metamorphic and behavioural tests for the closed loop (repro.loop)."""
+
+import json
+
+import pytest
+
+from repro import CommunicationLibrary, ConstraintGraph, Link, NodeKind, NodeSpec, Point
+from repro.core.exceptions import ModelError, SynthesisError
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.domains import wan_example
+from repro.loop import (
+    LoopOptions,
+    margin_sweep,
+    sweep_front,
+    sweep_to_json,
+    tune,
+)
+from repro.obs import Tracer
+
+
+@pytest.fixture(scope="module")
+def wan_instance():
+    return wan_example()
+
+
+class TestTuneBasics:
+    def test_wan_converges_with_headroom_margin(self, wan_instance):
+        """Margins inside the radio link's natural 10% headroom need no
+        tightening at all."""
+        graph, library = wan_instance
+        result = tune(graph, library, loop=LoopOptions(margin=0.05))
+        assert result.converged
+        assert result.n_iterations == 1
+        assert result.margins == {}
+        assert result.failure is None
+        assert result.cross_check_agrees is True
+
+    def test_wan_margin_beyond_headroom_tightens(self, wan_instance):
+        """A +20% workload exceeds the radio capacity (11 vs 12 Mbps):
+        the loop must tighten and converge to a costlier design."""
+        graph, library = wan_instance
+        relaxed = tune(graph, library, loop=LoopOptions(margin=0.05))
+        result = tune(graph, library, loop=LoopOptions(margin=0.2))
+        assert result.converged
+        assert result.n_iterations >= 2
+        assert result.margins  # something was tightened
+        assert result.cost > relaxed.cost
+        # the returned graph really is the tightened one
+        for name, mult in result.margins.items():
+            assert result.graph.arc(name).bandwidth == pytest.approx(
+                graph.arc(name).bandwidth * mult
+            )
+
+    def test_iteration_records_are_honest(self, wan_instance):
+        graph, library = wan_instance
+        result = tune(graph, library, loop=LoopOptions(margin=0.2))
+        assert [r.index for r in result.iterations] == list(
+            range(1, result.n_iterations + 1)
+        )
+        assert result.iterations[-1].sustained
+        for rec in result.iterations[:-1]:
+            assert rec.flagged  # every non-final iteration tightened
+
+    def test_nonzero_demand_margin_rejected(self, wan_instance):
+        graph, library = wan_instance
+        with pytest.raises(SynthesisError, match="demand_margin"):
+            tune(graph, library, options=SynthesisOptions(demand_margin=0.1))
+
+    def test_bad_loop_options_rejected(self, wan_instance):
+        graph, library = wan_instance
+        with pytest.raises(ValueError, match="margin"):
+            tune(graph, library, loop=LoopOptions(margin=-0.1))
+        with pytest.raises(ValueError, match="sim"):
+            tune(graph, library, loop=LoopOptions(sim="quantum"))
+
+    def test_unknown_initial_margin_rejected(self, wan_instance):
+        graph, library = wan_instance
+        with pytest.raises(ModelError):
+            tune(graph, library, initial_margins={"nope": 1.2})
+
+    def test_packets_engine_converges_too(self, wan_instance):
+        graph, library = wan_instance
+        result = tune(graph, library, loop=LoopOptions(margin=0.2, sim="packets"))
+        assert result.converged
+        assert result.cross_check_agrees is True
+
+
+class TestMetamorphicMonotonicity:
+    """Larger margin => cost never decreases, latency never increases."""
+
+    @pytest.fixture(scope="class")
+    def sweep_results(self):
+        graph, library = wan_example()
+        margins = (0.05, 0.2, 0.5)
+        return [tune(graph, library, loop=LoopOptions(margin=m)) for m in margins]
+
+    def test_all_converged(self, sweep_results):
+        assert all(r.converged for r in sweep_results)
+
+    def test_cost_monotone_nondecreasing(self, sweep_results):
+        costs = [r.cost for r in sweep_results]
+        assert costs == sorted(costs)
+
+    def test_latency_monotone_nonincreasing(self, sweep_results):
+        """Up to float noise: emission phases differ across margins, so
+        mathematically-equal latencies can differ in the last ulps."""
+        latencies = [r.latency for r in sweep_results]
+        for earlier, later in zip(latencies, latencies[1:]):
+            assert later <= earlier * (1 + 1e-9)
+
+
+class TestMetamorphicIdempotence:
+    def test_converged_margins_reenter_in_one_iteration(self, wan_instance):
+        """Feeding a converged run's margins back in must exit after a
+        single iteration with the same design."""
+        graph, library = wan_instance
+        first = tune(graph, library, loop=LoopOptions(margin=0.2))
+        assert first.converged
+        again = tune(
+            graph,
+            library,
+            loop=LoopOptions(margin=0.2),
+            initial_margins=first.margins,
+        )
+        assert again.converged
+        assert again.n_iterations == 1
+        assert again.cost == pytest.approx(first.cost)
+        assert again.margins == first.margins
+        assert again.latency == pytest.approx(first.latency)
+
+
+class TestMetamorphicDeterminism:
+    def test_two_sweeps_serialize_byte_identically(self, wan_instance):
+        graph, library = wan_instance
+        margins = (0.0, 0.1, 0.25)
+        docs = []
+        for _ in range(2):
+            points = margin_sweep(graph, library, margins=margins)
+            docs.append(
+                sweep_to_json(points, sweep_front(points), instance=graph.name)
+            )
+        assert docs[0] == docs[1]
+
+    def test_tune_to_dict_is_run_invariant(self, wan_instance):
+        graph, library = wan_instance
+        a = tune(graph, library, loop=LoopOptions(margin=0.2)).to_dict()
+        b = tune(graph, library, loop=LoopOptions(margin=0.2)).to_dict()
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestSweepFront:
+    def test_front_is_dominance_free_and_sorted(self, wan_instance):
+        graph, library = wan_instance
+        points = margin_sweep(graph, library, margins=(0.0, 0.1, 0.25, 0.5))
+        front = sweep_front(points)
+        assert front  # non-empty
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+        keys = [(p.cost, p.latency) for p in front]
+        assert keys == sorted(keys)
+
+    def test_unconverged_points_never_make_the_front(self, wan_instance):
+        """With a one-iteration cap, the +20% point cannot converge
+        (it needs a tighten-and-resynthesize round) and must stay off
+        the front."""
+        graph, library = wan_instance
+        points = margin_sweep(
+            graph, library, margins=(0.05, 0.2), loop=LoopOptions(max_iterations=1)
+        )
+        by_margin = {p.margin: p for p in points}
+        assert by_margin[0.05].converged
+        assert not by_margin[0.2].converged
+        assert sweep_front(points) == [by_margin[0.05]]
+
+    def test_empty_margin_list_rejected(self, wan_instance):
+        graph, library = wan_instance
+        with pytest.raises(ValueError):
+            margin_sweep(*wan_example(), margins=())
+
+
+class TestNonConvergence:
+    def test_iteration_cap_reported_honestly_not_raised(self, wan_instance):
+        """Hitting max_iterations must surface as converged=False with
+        a failure reason and the last design, never a crash."""
+        graph, library = wan_instance
+        result = tune(graph, library, loop=LoopOptions(margin=0.2, max_iterations=1))
+        assert not result.converged
+        assert result.failure is not None
+        assert "1 iteration" in result.failure
+        # the last design is still reported, with its latency measured
+        assert result.cost > 0
+        assert result.latency > 0
+        assert result.iterations and not result.iterations[-1].sustained
+        # and the packet cross-check agrees it does not sustain
+        assert result.cross_check_agrees is True
+
+    def test_bandwidth_tightening_bundles_parallel_lanes(self):
+        """Tightening past a single link's capacity is *not* infeasible
+        in this model — the synthesizer bundles parallel lanes — so the
+        loop converges by widening, at a cost."""
+        graph, library = _single_link_instance()
+        nominal = tune(graph, library, loop=LoopOptions(margin=0.0))
+        widened = tune(graph, library, loop=LoopOptions(margin=0.5, max_iterations=4))
+        assert nominal.converged and widened.converged
+        assert widened.cost > nominal.cost
+
+
+class TestObservability:
+    def test_loop_spans_and_counters_recorded(self, wan_instance):
+        graph, library = wan_instance
+        tracer = Tracer(label="loop-test")
+        result = tune(
+            graph, library, loop=LoopOptions(margin=0.2), trace=tracer
+        )
+        assert result.converged
+        names = {r.name for r in tracer.records}
+        assert {"loop.tune", "loop.iteration", "loop.resynthesize",
+                "loop.simulate"} <= names
+        counters = tracer.counters
+        assert counters["loop.iterations"] == result.n_iterations
+        assert counters["loop.converged"] == 1
+        assert counters["loop.tightenings"] >= 1
+
+
+class TestDemandMarginOption:
+    """The static knob on SynthesisOptions that the loop builds on."""
+
+    def test_margin_zero_is_identity(self, wan_instance):
+        graph, library = wan_instance
+        base = synthesize(graph, library)
+        margined = synthesize(graph, library, SynthesisOptions(demand_margin=0.0))
+        assert margined.total_cost == base.total_cost
+
+    def test_margin_reprovisions_wan_onto_optical(self, wan_instance):
+        """+20% exceeds every radio link's capacity, so the margined
+        synthesis must cost more than the nominal one."""
+        graph, library = wan_instance
+        base = synthesize(graph, library)
+        margined = synthesize(graph, library, SynthesisOptions(demand_margin=0.2))
+        assert margined.total_cost > base.total_cost
+        # and the margined design sustains the margin workload
+        from repro.sim import TrafficSpec, simulate
+
+        workload = TrafficSpec.from_graph(graph, scale=1.2)
+        sim = simulate(margined.implementation, graph, traffic=workload)
+        assert sim.all_satisfied
+
+    def test_negative_margin_rejected(self, wan_instance):
+        graph, library = wan_instance
+        with pytest.raises(SynthesisError, match="demand_margin"):
+            synthesize(graph, library, SynthesisOptions(demand_margin=-0.5))
+
+    def test_margin_in_checkpoint_fingerprint(self, wan_instance):
+        from repro.runtime.checkpoint import instance_fingerprint
+
+        graph, library = wan_instance
+        a = instance_fingerprint(graph, library, SynthesisOptions())
+        b = instance_fingerprint(graph, library, SynthesisOptions(demand_margin=0.2))
+        assert a != b
+
+
+class TestWithBandwidths:
+    def test_overrides_apply_and_preserve_everything_else(self, wan_instance):
+        graph, _ = wan_instance
+        out = graph.with_bandwidths({"a1": 123.0})
+        assert out.arc("a1").bandwidth == 123.0
+        assert out.arc("a2").bandwidth == graph.arc("a2").bandwidth
+        assert [a.name for a in out.arcs] == [a.name for a in graph.arcs]
+        assert [p.name for p in out.ports] == [p.name for p in graph.ports]
+        assert out.arc("a1").distance == graph.arc("a1").distance
+
+    def test_unknown_arc_rejected(self, wan_instance):
+        graph, _ = wan_instance
+        with pytest.raises(ModelError, match="nope"):
+            graph.with_bandwidths({"nope": 1.0})
+
+    def test_scaled_identity_shortcut(self, wan_instance):
+        graph, _ = wan_instance
+        assert graph.with_scaled_bandwidths(1.0) is graph
+        doubled = graph.with_scaled_bandwidths(2.0)
+        assert doubled.arc("a1").bandwidth == 2 * graph.arc("a1").bandwidth
+        with pytest.raises(ModelError):
+            graph.with_scaled_bandwidths(0.0)
+
+
+def _single_link_instance():
+    """One channel at bandwidth 10 over a library whose only link
+    carries 11 — tightening beyond +10% forces a second parallel lane."""
+    lib = CommunicationLibrary("tight")
+    lib.add_link(Link("only", bandwidth=11.0, cost_per_unit=2.0))
+    lib.add_node(NodeSpec("mux", NodeKind.MUX, cost=0.0))
+    lib.add_node(NodeSpec("demux", NodeKind.DEMUX, cost=0.0))
+    g = ConstraintGraph(name="single-link")
+    g.add_port("u", Point(0, 0))
+    g.add_port("v", Point(10, 0))
+    g.add_channel("a1", "u", "v", bandwidth=10.0)
+    return g, lib

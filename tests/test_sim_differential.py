@@ -1,0 +1,126 @@
+"""Differential pack: fluid vs packet simulator on every bundled domain.
+
+The two simulators answer the same sustained/starved question with
+completely different machinery (backlog-proportional fluid sharing vs
+store-and-forward discrete events).  On every conformance domain's
+optimal implementation they must agree on the verdict — per channel —
+and on steady-state throughput within tolerance; on a deliberately
+overloaded workload they must both flag the same starved channels.
+"""
+
+import pytest
+
+from repro.core.synthesis import SynthesisOptions, synthesize
+from repro.domains.conformance import CONFORMANCE_CASES
+from repro.sim import TrafficSpec, simulate, simulate_packets
+
+#: packets the slowest channel emits in a packet run — enough for a
+#: stable second-half throughput measurement on every domain.
+_SLOW_PACKETS = 120.0
+
+#: relative tolerance on per-channel throughput agreement.  The packet
+#: engine quantizes to whole packets and shares trunks FIFO instead of
+#: proportionally, so it is looser than either engine's own noise.
+_THROUGHPUT_RTOL = 0.15
+
+
+def _packet_params(graph, scale=1.0):
+    """(duration, packet_bits) sized so the slowest channel emits
+    ``_SLOW_PACKETS`` packets regardless of the domain's rate scale."""
+    spec = TrafficSpec.from_graph(graph, scale=scale)
+    duration = 1.0
+    return duration, spec.min_rate() * duration / _SLOW_PACKETS
+
+
+@pytest.fixture(scope="module")
+def optimal_implementations():
+    """Every conformance case synthesized at its pinned configuration."""
+    out = {}
+    for name, (builder, max_arity) in CONFORMANCE_CASES.items():
+        graph, library = builder()
+        result = synthesize(graph, library, SynthesisOptions(max_arity=max_arity))
+        out[name] = (graph, result.implementation)
+    return out
+
+
+@pytest.mark.parametrize("name", list(CONFORMANCE_CASES))
+class TestOptimalDesignsAgree:
+    def test_both_engines_sustain_the_nominal_workload(
+        self, optimal_implementations, name
+    ):
+        graph, impl = optimal_implementations[name]
+        fluid = simulate(impl, graph, duration=200.0)
+        duration, packet_bits = _packet_params(graph)
+        pkt = simulate_packets(impl, graph, duration=duration, packet_bits=packet_bits)
+
+        assert fluid.all_satisfied, f"{name}: fluid starved {fluid.starved_channels()}"
+        assert pkt.all_satisfied, f"{name}: packets starved {pkt.starved_channels()}"
+        for channel, fstats in fluid.channels.items():
+            pstats = pkt.channels[channel]
+            assert fstats.satisfied == pstats.satisfied
+            assert pstats.demand == pytest.approx(fstats.demand)
+
+    def test_throughput_within_tolerance(self, optimal_implementations, name):
+        graph, impl = optimal_implementations[name]
+        fluid = simulate(impl, graph, duration=200.0)
+        duration, packet_bits = _packet_params(graph)
+        pkt = simulate_packets(impl, graph, duration=duration, packet_bits=packet_bits)
+        for channel, fstats in fluid.channels.items():
+            pstats = pkt.channels[channel]
+            assert pstats.throughput == pytest.approx(
+                fstats.throughput, rel=_THROUGHPUT_RTOL
+            ), f"{name}/{channel}: fluid {fstats.throughput} vs packets {pstats.throughput}"
+
+
+class TestOversubscribedFlaggedByBoth:
+    def test_overloaded_wan_flagged_identically(self, optimal_implementations):
+        """At 1.5x the nominal rates the WAN's radio links (capacity
+        11 Mbps vs 15 Mbps offered) cannot keep up: both engines must
+        flag the same starved channels."""
+        graph, impl = optimal_implementations["wan"]
+        overload = TrafficSpec.from_graph(graph, scale=1.5)
+        fluid = simulate(impl, graph, duration=200.0, traffic=overload)
+        duration, packet_bits = _packet_params(graph, scale=1.5)
+        pkt = simulate_packets(
+            impl, graph, duration=duration, packet_bits=packet_bits, traffic=overload
+        )
+        assert not fluid.all_satisfied
+        assert not pkt.all_satisfied
+        assert fluid.starved_channels() == pkt.starved_channels()
+
+    def test_starved_throughput_pinned_at_capacity_in_both(
+        self, optimal_implementations
+    ):
+        graph, impl = optimal_implementations["wan"]
+        overload = TrafficSpec.from_graph(graph, scale=1.5)
+        fluid = simulate(impl, graph, duration=200.0, traffic=overload)
+        duration, packet_bits = _packet_params(graph, scale=1.5)
+        pkt = simulate_packets(
+            impl, graph, duration=duration, packet_bits=packet_bits, traffic=overload
+        )
+        for channel in fluid.starved_channels():
+            fstats, pstats = fluid.channels[channel], pkt.channels[channel]
+            # both deliver strictly less than offered…
+            assert fstats.throughput < 0.99 * fstats.demand
+            assert pstats.throughput < 0.99 * pstats.demand
+            # …and agree on how much actually got through
+            assert pstats.throughput == pytest.approx(
+                fstats.throughput, rel=_THROUGHPUT_RTOL
+            )
+
+
+class TestPartialTraffic:
+    def test_spec_subset_leaves_other_channels_idle(self, optimal_implementations):
+        graph, impl = optimal_implementations["wan"]
+        first = graph.arcs[0].name
+        spec = TrafficSpec.from_graph(graph).scaled(1.0)
+        only_first = TrafficSpec(
+            demands=tuple(d for d in spec.demands if d.channel == first)
+        )
+        fluid = simulate(impl, graph, traffic=only_first)
+        assert set(fluid.channels) == {first}
+        duration, packet_bits = _packet_params(graph)
+        pkt = simulate_packets(
+            impl, graph, duration=duration, packet_bits=packet_bits, traffic=only_first
+        )
+        assert set(pkt.channels) == {first}

@@ -1,0 +1,134 @@
+"""The shared traffic-spec type: validation and JSON round-trips."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.domains import wan_example
+from repro.sim import Demand, TrafficSpec
+from repro.core.exceptions import ValidationError
+
+
+class TestDemand:
+    def test_valid(self):
+        d = Demand("a1", 10.0)
+        assert d.channel == "a1" and d.rate == 10.0
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0, float("inf"), float("nan")])
+    def test_bad_rate_rejected(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            Demand("a1", rate)
+
+    def test_empty_channel_rejected(self):
+        with pytest.raises(ValueError, match="channel"):
+            Demand("", 1.0)
+
+    def test_bool_rate_rejected(self):
+        with pytest.raises(ValueError, match="number"):
+            Demand("a1", True)
+
+
+class TestTrafficSpec:
+    def test_from_graph_mirrors_bandwidths(self):
+        graph, _ = wan_example()
+        spec = TrafficSpec.from_graph(graph)
+        assert spec.channels == tuple(a.name for a in graph.arcs)
+        for arc in graph.arcs:
+            assert spec.rate(arc.name) == arc.bandwidth
+
+    def test_from_graph_scale(self):
+        graph, _ = wan_example()
+        spec = TrafficSpec.from_graph(graph, scale=1.5)
+        assert spec.rate("a1") == graph.arc("a1").bandwidth * 1.5
+
+    def test_scaled_identity_shortcut(self):
+        graph, _ = wan_example()
+        spec = TrafficSpec.from_graph(graph)
+        assert spec.scaled(1.0) is spec
+        assert spec.scaled(2.0).rate("a1") == 2.0 * spec.rate("a1")
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TrafficSpec(demands=(Demand("a1", 1.0), Demand("a1", 2.0)))
+
+    def test_unknown_channel_lookup_raises(self):
+        spec = TrafficSpec(demands=(Demand("a1", 1.0),))
+        with pytest.raises(KeyError):
+            spec.rate("nope")
+
+    def test_check_against_names_the_stranger(self):
+        graph, _ = wan_example()
+        spec = TrafficSpec(demands=(Demand("not-an-arc", 1.0),))
+        with pytest.raises(ValidationError, match="not-an-arc"):
+            spec.check_against(graph)
+
+    def test_min_rate_and_len(self):
+        spec = TrafficSpec(demands=(Demand("a", 3.0), Demand("b", 2.0)))
+        assert spec.min_rate() == 2.0
+        assert len(spec) == 2
+        with pytest.raises(ValueError):
+            TrafficSpec(demands=()).min_rate()
+
+
+class TestJsonForm:
+    def test_round_trip_example(self):
+        graph, _ = wan_example()
+        spec = TrafficSpec.from_graph(graph, scale=1.2)
+        doc = json.loads(json.dumps(spec.to_dict()))
+        assert TrafficSpec.from_dict(doc) == spec
+
+    @pytest.mark.parametrize(
+        "doc, fragment",
+        [
+            ([], "object"),
+            ({"version": 99, "demands": []}, "version"),
+            ({"version": 1, "demands": {}}, "list"),
+            ({"version": 1, "demands": ["x"]}, "demands[0]"),
+            ({"version": 1, "demands": [{"channel": "a", "rate": 1.0, "x": 2}]},
+             "unknown fields"),
+            ({"version": 1, "demands": [{"channel": "a", "rate": -5}]},
+             "demands[0]"),
+            ({"version": 1, "demands": [{"channel": "", "rate": 1.0}]},
+             "demands[0]"),
+        ],
+    )
+    def test_malformed_docs_named(self, doc, fragment):
+        with pytest.raises(ValueError, match=fragment.replace("[", "\\[")):
+            TrafficSpec.from_dict(doc)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("L", "N"), whitelist_characters="_-"
+                    ),
+                    min_size=1,
+                    max_size=12,
+                ),
+                st.floats(
+                    min_value=1e-9,
+                    max_value=1e15,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=0,
+            max_size=20,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_hypothesis(self, entries):
+        """to_dict -> json -> from_dict is the identity, bit-exact on
+        rates (floats survive JSON)."""
+        spec = TrafficSpec(demands=tuple(Demand(c, r) for c, r in entries))
+        wire = json.dumps(spec.to_dict(), sort_keys=True)
+        back = TrafficSpec.from_dict(json.loads(wire))
+        assert back == spec
+        assert json.dumps(back.to_dict(), sort_keys=True) == wire
+        for d in back.demands:
+            assert math.isfinite(d.rate)
